@@ -1,0 +1,39 @@
+"""E-EV — §V-A evaluation conclusion 2: event counts are not enough.
+
+The paper notes that ``colidx`` in CG has *more* raw error-masking events
+than ``r`` (2.19e9 vs 4.54e7 at class A) even though CG is far less
+resilient to errors in ``colidx`` — which is exactly why aDVF normalises by
+the number of element participations.  This benchmark reports both the raw
+masked-event counts and the aDVF values for the two objects.
+"""
+
+from conftest import advf_for, print_header
+
+from repro.reporting.tables import format_table
+
+
+def _analyze():
+    return {name: advf_for("cg", name) for name in ("r", "colidx")}
+
+
+def test_event_counts_vs_advf(once):
+    reports = once(_analyze)
+    print_header("Evaluation conclusion 2: masked-event counts vs aDVF (CG)")
+    rows = [
+        [
+            name,
+            f"{report.result.masked_events:.1f}",
+            report.result.participations,
+            f"{report.result.value:.3f}",
+        ]
+        for name, report in reports.items()
+    ]
+    print(
+        format_table(
+            ["data object", "masked events", "participations", "aDVF"], rows
+        )
+    )
+    print(
+        "\nshape check: aDVF(r) should exceed aDVF(colidx) regardless of which "
+        "object accumulates more raw masking events."
+    )

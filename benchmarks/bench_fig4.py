@@ -1,0 +1,43 @@
+"""E-F4 — Figure 4: aDVF of 16 data objects, broken down by analysis level.
+
+Expected shape (not absolute values): double-precision state arrays (r, u,
+rsd, plane, rhoi, zeta) score high; integer index / problem-definition
+arrays (colidx, grid_points, ipiv, elemBC) score low, and whatever masking
+they do have comes disproportionately from the algorithm level.
+"""
+
+from conftest import FIGURE4_OBJECTS, advf_for, print_header
+
+from repro.core.masking import MaskingLevel
+from repro.reporting.figures import advf_level_breakdown_rows, stacked_bar_chart
+from repro.reporting.tables import format_table
+
+
+def _analyze_all():
+    return {
+        f"{wl}:{obj}": advf_for(wl, obj).result for wl, obj in FIGURE4_OBJECTS
+    }
+
+
+def test_fig4_advf_by_level(once):
+    results = once(_analyze_all)
+    print_header("Figure 4: aDVF breakdown by analysis level (O=operation, P=propagation, A=algorithm)")
+    print(stacked_bar_chart(advf_level_breakdown_rows(results)))
+    print()
+    rows = [
+        [
+            name,
+            f"{r.value:.3f}",
+            f"{r.level_fraction(MaskingLevel.OPERATION):.3f}",
+            f"{r.level_fraction(MaskingLevel.PROPAGATION):.3f}",
+            f"{r.level_fraction(MaskingLevel.ALGORITHM):.3f}",
+            r.participations,
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["data object", "aDVF", "operation", "propagation", "algorithm", "participations"],
+            rows,
+        )
+    )

@@ -1,0 +1,43 @@
+"""E-F5 — Figure 5: aDVF broken down by masking category.
+
+Breakdown of the operation- and propagation-level masking into value
+overwriting (W), value overshadowing (S) and logic/comparison operations
+(L).  Expected shape: overshadowing dominates the double-precision arrays;
+integer objects rely on logic/compare masking and have little of either.
+"""
+
+from conftest import FIGURE4_OBJECTS, advf_for, print_header
+
+from repro.core.masking import MaskingCategory
+from repro.reporting.figures import advf_category_breakdown_rows, stacked_bar_chart
+from repro.reporting.tables import format_table
+
+
+def _analyze_all():
+    return {
+        f"{wl}:{obj}": advf_for(wl, obj).result for wl, obj in FIGURE4_OBJECTS
+    }
+
+
+def test_fig5_advf_by_category(once):
+    results = once(_analyze_all)
+    print_header(
+        "Figure 5: masking categories (W=overwrite, S=overshadow, L=logic/compare)"
+    )
+    print(stacked_bar_chart(advf_category_breakdown_rows(results)))
+    print()
+    rows = [
+        [
+            name,
+            f"{r.value:.3f}",
+            f"{r.category_fraction(MaskingCategory.OVERWRITE):.3f}",
+            f"{r.category_fraction(MaskingCategory.OVERSHADOW):.3f}",
+            f"{r.category_fraction(MaskingCategory.LOGIC_COMPARE):.3f}",
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["data object", "aDVF", "overwrite", "overshadow", "logic/compare"], rows
+        )
+    )

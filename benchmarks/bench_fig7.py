@@ -1,0 +1,53 @@
+"""E-F7 — Figure 7: random fault injection vs aDVF on LULESH m_x / m_y / m_z.
+
+The RFI sweep varies the number of injection tests and reports the success
+rate with its 95 % margin of error; the point of the figure is that the RFI
+ranking of the three (equally-sized, same-role) arrays flips between sample
+sizes while aDVF gives one deterministic ranking.
+"""
+
+from conftest import SCALE, bench_config, print_header
+
+from repro.core.advf import AdvfEngine
+from repro.core.rfi import RandomFaultInjection
+from repro.reporting.tables import format_table
+from repro.workloads.registry import get_workload
+
+OBJECTS = ["m_x", "m_y", "m_z"]
+#: Paper uses 500..3500 with stride 500; scaled down for a laptop run.
+TEST_COUNTS = [50 * SCALE, 100 * SCALE, 150 * SCALE, 200 * SCALE, 250 * SCALE]
+
+
+def _run_campaigns():
+    workload = get_workload("lulesh")
+    trace = workload.traced_run().trace
+    rfi_results = {}
+    for index, name in enumerate(OBJECTS):
+        rfi = RandomFaultInjection(workload, seed=11 + index)
+        rfi_results[name] = rfi.sweep(trace, name, TEST_COUNTS)
+    engine = AdvfEngine(workload, bench_config())
+    advf = {name: engine.analyze_object(name).result.value for name in OBJECTS}
+    return rfi_results, advf
+
+
+def test_fig7_rfi_vs_advf(once):
+    rfi_results, advf = once(_run_campaigns)
+    print_header("Figure 7: RFI success rate (with 95% margin of error) vs aDVF")
+    header = ["data object"] + [f"RFI n={n}" for n in TEST_COUNTS] + ["aDVF"]
+    rows = []
+    for name in OBJECTS:
+        cells = [name]
+        for result in rfi_results[name]:
+            cells.append(f"{result.success_rate:.3f}±{result.margin_of_error:.3f}")
+        cells.append(f"{advf[name]:.3f}")
+        rows.append(cells)
+    print(format_table(header, rows))
+    # how often does the RFI ranking flip across sample sizes?
+    rankings = set()
+    for i, _ in enumerate(TEST_COUNTS):
+        order = tuple(
+            sorted(OBJECTS, key=lambda n: rfi_results[n][i].success_rate, reverse=True)
+        )
+        rankings.add(order)
+    print(f"\ndistinct RFI rankings across sample sizes: {len(rankings)}")
+    print(f"aDVF ranking (deterministic): {sorted(OBJECTS, key=advf.get, reverse=True)}")

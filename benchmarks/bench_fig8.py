@@ -1,0 +1,45 @@
+"""E-F8 — Figure 8: ABFT case study on matrix multiplication (object C).
+
+aDVF of the product matrix ``C`` with and without algorithm-based fault
+tolerance.  Expected shape: ABFT raises the aDVF of ``C`` dramatically, and
+the gain shows up as overwrite-style masking during error propagation (the
+verification phase corrects the corrupted element after the fact).
+"""
+
+from conftest import bench_config, print_header
+
+from repro.core.advf import AdvfEngine
+from repro.core.masking import MaskingCategory, MaskingLevel
+from repro.reporting.tables import format_table
+from repro.workloads.matmul import MatmulWorkload
+
+
+def _analyze_both():
+    plain = AdvfEngine(MatmulWorkload(abft=False), bench_config()).analyze_object("C")
+    abft = AdvfEngine(MatmulWorkload(abft=True), bench_config()).analyze_object("C")
+    return {"[C]": plain.result, "ABFT_[C]": abft.result}
+
+
+def test_fig8_abft_matmul(once):
+    results = once(_analyze_both)
+    print_header("Figure 8: aDVF of C in matrix multiplication, with and without ABFT")
+    rows = [
+        [
+            name,
+            f"{r.value:.3f}",
+            f"{r.level_fraction(MaskingLevel.OPERATION):.3f}",
+            f"{r.level_fraction(MaskingLevel.PROPAGATION):.3f}",
+            f"{r.level_fraction(MaskingLevel.ALGORITHM):.3f}",
+            f"{r.category_fraction(MaskingCategory.OVERWRITE):.3f}",
+            f"{r.category_fraction(MaskingCategory.OVERSHADOW):.3f}",
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["variant", "aDVF", "operation", "propagation", "algorithm", "overwrite", "overshadow"],
+            rows,
+        )
+    )
+    improvement = results["ABFT_[C]"].value - results["[C]"].value
+    print(f"\naDVF improvement from ABFT on C: {improvement:+.3f} (paper: 0.0172 -> 0.82)")

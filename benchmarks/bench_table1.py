@@ -1,0 +1,28 @@
+"""E-T1 — Table I: benchmarks, code segments and target data objects.
+
+Regenerates the study-configuration table.  The benchmark also times one
+golden traced execution per benchmark, which is the fixed cost every aDVF
+analysis pays for its input trace.
+"""
+
+from conftest import print_header
+
+from repro.reporting.tables import format_table, format_table1
+from repro.workloads.registry import TABLE1_ROWS, get_workload
+
+
+def _trace_all():
+    rows = []
+    for name in TABLE1_ROWS:
+        workload = get_workload(name)
+        outcome = workload.traced_run()
+        rows.append([name.upper(), outcome.steps, len(outcome.trace)])
+    return rows
+
+
+def test_table1(once):
+    rows = once(_trace_all)
+    print_header("Table I: benchmarks and target data objects (reproduction)")
+    print(format_table1())
+    print()
+    print(format_table(["Benchmark", "Dynamic instructions", "Trace events"], rows))

@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Budgets are
+chosen so the whole harness finishes in minutes on a laptop; raise
+``REPRO_BENCH_SCALE`` (an integer multiplier) to spend more injections per
+object when more fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.advf import AdvfEngine, AnalysisConfig, ObjectReport
+from repro.core.patterns import SingleBitModel
+from repro.workloads.registry import get_workload
+
+#: Scale factor for injection budgets (1 = quick laptop run).
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def bench_config(max_injections: int = 40) -> AnalysisConfig:
+    """Analysis configuration used across the figure benchmarks."""
+    return AnalysisConfig(
+        max_injections=max_injections * SCALE,
+        equivalence_samples=1,
+        injection_samples_per_class=1,
+        error_model=SingleBitModel(bit_stride=8),
+    )
+
+
+#: The 16 data objects of Figures 4 and 5: (workload, object) pairs.
+FIGURE4_OBJECTS: List[Tuple[str, str]] = [
+    ("cg", "r"),
+    ("cg", "colidx"),
+    ("mg", "u"),
+    ("mg", "r"),
+    ("ft", "exp1"),
+    ("ft", "plane"),
+    ("bt", "grid_points"),
+    ("bt", "u"),
+    ("sp", "grid_points"),
+    ("sp", "rhoi"),
+    ("lu", "u"),
+    ("lu", "rsd"),
+    ("lulesh", "m_delv_zeta"),
+    ("lulesh", "m_elemBC"),
+    ("amg", "ipiv"),
+    ("amg", "A"),
+]
+
+
+@lru_cache(maxsize=None)
+def advf_for(workload_name: str, object_name: str) -> ObjectReport:
+    """aDVF analysis of one data object (cached across benchmarks)."""
+    workload = get_workload(workload_name)
+    engine = AdvfEngine(workload, bench_config())
+    return engine.analyze_object(object_name)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (campaigns are long-running)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

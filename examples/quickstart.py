@@ -1,0 +1,87 @@
+"""Quickstart: compute aDVF for the data objects of your own kernel.
+
+Write a kernel in the restricted Python dialect, wrap it in a tiny Workload
+subclass, and ask the aDVF engine how resilient each data object is to
+single-bit transient faults.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.advf import AdvfEngine, AnalysisConfig
+from repro.core.patterns import SingleBitModel
+from repro.ir.types import F64, I64
+from repro.reporting import bar_chart
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# 1. A kernel in the restricted dialect: typed parameters, range loops,
+#    flat 1-D indexing, math intrinsics.
+def smooth(signal: "double*", weights: "double*", out: "double*", n: "i64") -> "void":
+    for i in range(1, n - 1):
+        out[i] = (
+            weights[0] * signal[i - 1]
+            + weights[1] * signal[i]
+            + weights[2] * signal[i + 1]
+        )
+    out[0] = signal[0]
+    out[n - 1] = signal[n - 1]
+
+
+# 2. A workload: how to set up the data objects and what "acceptable" means.
+class SmoothingWorkload(Workload):
+    name = "smooth"
+    description = "3-point weighted smoothing of a 1-D signal"
+    code_segment = "the smooth kernel"
+    target_objects = ("signal", "weights")
+    output_objects = ("out",)
+    entry = "smooth"
+
+    def __init__(self, n: int = 32, seed: int = 7) -> None:
+        super().__init__(seed=seed)
+        self.n = n
+
+    def kernels(self):
+        return (smooth,)
+
+    def setup(self, memory: Memory):
+        rng = self.rng()
+        signal = memory.allocate("signal", F64, self.n, initial=rng.standard_normal(self.n))
+        weights = memory.allocate("weights", F64, 3, initial=[0.25, 0.5, 0.25])
+        out = memory.allocate("out", F64, self.n)
+        return {"signal": signal, "weights": weights, "out": out, "n": self.n}
+
+
+def main() -> None:
+    workload = SmoothingWorkload()
+
+    # 3. Run the aDVF analysis (operation level + propagation + deterministic
+    #    injection for the unresolved cases).
+    config = AnalysisConfig(
+        max_injections=60, error_model=SingleBitModel(bit_stride=4)
+    )
+    engine = AdvfEngine(workload, config)
+    report = engine.analyze()
+
+    print("dynamic trace events:", report.trace_events)
+    print()
+    print("aDVF per data object (higher = more error masking = more resilient):")
+    print(bar_chart({name: obj.value for name, obj in report.advf.items()}))
+    print()
+    for name, obj_report in report.objects.items():
+        result = obj_report.result
+        print(
+            f"{name}: aDVF={result.value:.3f} over {result.participations} "
+            f"participations ({obj_report.injections} deterministic injections, "
+            f"{obj_report.analyses_reused} results reused via error equivalence)"
+        )
+    print()
+    print("ranking (most resilient first):", report.ranking())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""MOARD reproduction: modeling application resilience to transient faults on data objects.
+
+This package reproduces the system described in "MOARD: Modeling Application
+Resilience to Transient Faults on Data Objects" (Guo & Li, IPDPS 2019).  It
+provides, in pure Python:
+
+* a small LLVM-like IR, a Python-subset kernel frontend and a tracing
+  virtual machine (``repro.ir``, ``repro.frontend``, ``repro.vm``,
+  ``repro.tracing``) — the substrates the original tool gets from LLVM
+  instrumentation;
+* the MOARD trace-analysis model itself (``repro.core``): error-masking
+  classification, bounded error-propagation analysis, deterministic /
+  exhaustive / random fault injection and the aDVF metric;
+* the workloads studied in the paper (``repro.workloads``), an ABFT GEMM
+  (``repro.abft``), a multiprocessing campaign runner (``repro.parallel``)
+  and text reporting of the paper's tables and figures (``repro.reporting``).
+
+Quickstart
+----------
+>>> from repro import analyze_workload
+>>> report = analyze_workload("lu", targets=["sum"])       # doctest: +SKIP
+>>> report.advf["sum"].value                               # doctest: +SKIP
+0.43
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):
+    # Lazy re-exports so `import repro` stays cheap and cycle-free.
+    if name in ("analyze_workload", "AdvfEngine", "AnalysisConfig"):
+        from repro.core import advf as _advf
+
+        return getattr(_advf, name)
+    if name == "WORKLOADS":
+        from repro.workloads.registry import WORKLOADS
+
+        return WORKLOADS
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

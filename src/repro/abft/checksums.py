@@ -1,0 +1,73 @@
+"""Huang–Abraham checksum arithmetic for ABFT matrix multiplication.
+
+``C = A × B`` satisfies, in exact arithmetic,
+
+* row sums:    ``C · 1  = A · (B · 1)``
+* column sums: ``1ᵀ · C = (1ᵀ · A) · B``
+
+A single corrupted element ``C[i, j]`` violates exactly one row checksum and
+one column checksum, which both locates it and gives the correction value.
+These helpers implement the encode / verify / locate / correct steps on
+NumPy arrays; the in-IR version lives in
+:func:`repro.workloads.matmul.matmul_abft`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def encode_row_checksums(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Expected row sums of ``A @ B`` computed from the inputs."""
+    return a @ b.sum(axis=1)
+
+
+def encode_column_checksums(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Expected column sums of ``A @ B`` computed from the inputs."""
+    return a.sum(axis=0) @ b
+
+
+def verify_product(
+    c: np.ndarray, row_checksums: np.ndarray, col_checksums: np.ndarray, tol: float = 1e-6
+) -> bool:
+    """Whether every row and column checksum of ``c`` matches within ``tol``."""
+    row_ok = np.allclose(c.sum(axis=1), row_checksums, atol=tol, rtol=0.0)
+    col_ok = np.allclose(c.sum(axis=0), col_checksums, atol=tol, rtol=0.0)
+    return bool(row_ok and col_ok)
+
+
+def locate_single_error(
+    c: np.ndarray, row_checksums: np.ndarray, col_checksums: np.ndarray, tol: float = 1e-6
+) -> Optional[Tuple[int, int, float]]:
+    """Locate a single corrupted element of ``c``.
+
+    Returns ``(row, col, delta)`` where ``delta`` is the amount by which the
+    element exceeds its correct value, or ``None`` when no checksum (or more
+    than one row/column) disagrees.
+    """
+    row_residual = c.sum(axis=1) - row_checksums
+    col_residual = c.sum(axis=0) - col_checksums
+    bad_rows = np.nonzero(np.abs(row_residual) > tol)[0]
+    bad_cols = np.nonzero(np.abs(col_residual) > tol)[0]
+    if len(bad_rows) != 1 or len(bad_cols) != 1:
+        return None
+    row, col = int(bad_rows[0]), int(bad_cols[0])
+    return row, col, float(row_residual[row])
+
+
+def correct_single_error(
+    c: np.ndarray, row_checksums: np.ndarray, col_checksums: np.ndarray, tol: float = 1e-6
+) -> Tuple[np.ndarray, bool]:
+    """Correct a single corrupted element of ``c`` (copy-on-write).
+
+    Returns ``(corrected matrix, whether a correction was applied)``.
+    """
+    location = locate_single_error(c, row_checksums, col_checksums, tol)
+    if location is None:
+        return c, False
+    row, col, delta = location
+    corrected = c.copy()
+    corrected[row, col] -= delta
+    return corrected, True

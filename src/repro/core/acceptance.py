@@ -1,0 +1,221 @@
+"""Outcome classification and acceptance criteria.
+
+The paper's fault model (§II-A) defines application-outcome correctness as
+either *precise numerical integrity* or *satisfying a minimum fidelity
+threshold* (e.g. an iterative solver's convergence criterion).  The classes
+here encode both notions so every workload can declare what "acceptable"
+means for it, and the injectors can classify each faulty run into one of the
+:class:`OutcomeClass` buckets the evaluation section reasons about.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class OutcomeClass(enum.Enum):
+    """What a (possibly faulty) execution did, relative to the golden run."""
+
+    #: Bit-for-bit identical outputs — the error was fully masked before it
+    #: reached any output (operation-level or propagation-level masking).
+    IDENTICAL = "identical"
+    #: Numerically different but within the workload's acceptance criterion —
+    #: algorithm-level masking.
+    ACCEPTABLE = "acceptable"
+    #: Numerically different and outside the acceptance criterion — silent
+    #: data corruption.
+    UNACCEPTABLE = "unacceptable"
+    #: The run raised a VM fault (segmentation fault, division by zero …).
+    CRASH = "crash"
+    #: The run exceeded its dynamic-instruction budget (corrupted loop bound).
+    HANG = "hang"
+
+    @property
+    def is_success(self) -> bool:
+        """Counted as success by fault-injection campaigns (paper's "correct")."""
+        return self in (OutcomeClass.IDENTICAL, OutcomeClass.ACCEPTABLE)
+
+    @property
+    def is_masked(self) -> bool:
+        return self.is_success
+
+
+Outputs = Dict[str, np.ndarray]
+
+
+class AcceptanceCriterion(ABC):
+    """Decides whether faulty outputs are acceptable relative to golden ones."""
+
+    @abstractmethod
+    def acceptable(self, golden: Outputs, faulty: Outputs) -> bool:
+        """True when the faulty outputs satisfy the workload's fidelity needs."""
+
+    def identical(self, golden: Outputs, faulty: Outputs) -> bool:
+        """True when outputs are bit-for-bit identical (NaNs compare equal)."""
+        if golden.keys() != faulty.keys():
+            return False
+        for name, gold in golden.items():
+            fault = faulty[name]
+            if gold.shape != fault.shape:
+                return False
+            if not np.array_equal(gold, fault, equal_nan=True):
+                return False
+        return True
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ExactMatch(AcceptanceCriterion):
+    """Only bit-identical outputs are acceptable (precise numerical integrity)."""
+
+    def acceptable(self, golden: Outputs, faulty: Outputs) -> bool:
+        return self.identical(golden, faulty)
+
+    def describe(self) -> str:
+        return "exact match"
+
+
+class RelativeTolerance(AcceptanceCriterion):
+    """Element-wise relative/absolute tolerance on every output object."""
+
+    def __init__(self, rtol: float = 1e-6, atol: float = 1e-9) -> None:
+        if rtol < 0 or atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.rtol = rtol
+        self.atol = atol
+
+    def acceptable(self, golden: Outputs, faulty: Outputs) -> bool:
+        if golden.keys() != faulty.keys():
+            return False
+        for name, gold in golden.items():
+            fault = faulty[name]
+            if gold.shape != fault.shape:
+                return False
+            if np.issubdtype(gold.dtype, np.floating):
+                if not np.allclose(gold, fault, rtol=self.rtol, atol=self.atol,
+                                   equal_nan=False):
+                    return False
+                if np.isnan(fault).any() != np.isnan(gold).any():
+                    return False
+            else:
+                if not np.array_equal(gold, fault):
+                    return False
+        return True
+
+    def describe(self) -> str:
+        return f"element-wise tolerance (rtol={self.rtol:g}, atol={self.atol:g})"
+
+
+class NormRelativeTolerance(AcceptanceCriterion):
+    """Acceptance on the relative L2 error of each output vector.
+
+    This is the fidelity notion iterative solvers use (CG, MG, AMG …): the
+    answer is acceptable as long as ``||x_faulty - x_golden|| / ||x_golden||``
+    stays below a threshold, mirroring a convergence test.
+    """
+
+    def __init__(self, threshold: float = 1e-4) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def acceptable(self, golden: Outputs, faulty: Outputs) -> bool:
+        if golden.keys() != faulty.keys():
+            return False
+        for name, gold in golden.items():
+            fault = faulty[name]
+            if gold.shape != fault.shape:
+                return False
+            if not np.issubdtype(gold.dtype, np.floating):
+                if not np.array_equal(gold, fault):
+                    return False
+                continue
+            if np.isnan(fault).any() or np.isinf(fault).any():
+                return False
+            scale = float(np.linalg.norm(gold))
+            error = float(np.linalg.norm(fault - gold))
+            if scale == 0.0:
+                if error > self.threshold:
+                    return False
+            elif error / scale > self.threshold:
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"relative L2 error <= {self.threshold:g}"
+
+
+class CompositeCriterion(AcceptanceCriterion):
+    """All member criteria must accept (logical AND)."""
+
+    def __init__(self, members: Sequence[AcceptanceCriterion]) -> None:
+        if not members:
+            raise ValueError("composite criterion needs at least one member")
+        self.members = list(members)
+
+    def acceptable(self, golden: Outputs, faulty: Outputs) -> bool:
+        return all(member.acceptable(golden, faulty) for member in self.members)
+
+    def describe(self) -> str:
+        return " AND ".join(member.describe() for member in self.members)
+
+
+@dataclass
+class ScalarResultCheck:
+    """Optional check on the entry function's scalar return value."""
+
+    rtol: float = 1e-6
+    atol: float = 1e-9
+
+    def acceptable(self, golden: Optional[float], faulty: Optional[float]) -> bool:
+        if golden is None and faulty is None:
+            return True
+        if golden is None or faulty is None:
+            return False
+        if isinstance(golden, float) and (math.isnan(faulty) or math.isinf(faulty)):
+            return False
+        return math.isclose(float(faulty), float(golden), rel_tol=self.rtol,
+                            abs_tol=self.atol)
+
+
+def classify_outcome(
+    criterion: AcceptanceCriterion,
+    golden: Outputs,
+    faulty: Outputs,
+    crashed: bool = False,
+    hung: bool = False,
+    golden_return: Optional[float] = None,
+    faulty_return: Optional[float] = None,
+    return_check: Optional[ScalarResultCheck] = None,
+) -> OutcomeClass:
+    """Bucket one faulty execution into an :class:`OutcomeClass`.
+
+    ``crashed``/``hung`` short-circuit the comparison; otherwise the outputs
+    (and optionally the scalar return value) are compared against the golden
+    run using ``criterion``.
+    """
+    if crashed:
+        return OutcomeClass.CRASH
+    if hung:
+        return OutcomeClass.HANG
+    return_identical = True
+    return_acceptable = True
+    if return_check is not None:
+        return_acceptable = return_check.acceptable(golden_return, faulty_return)
+        if golden_return is None or faulty_return is None:
+            return_identical = golden_return is faulty_return
+        else:
+            gr, fr = float(golden_return), float(faulty_return)
+            return_identical = (gr == fr) or (math.isnan(gr) and math.isnan(fr))
+    if criterion.identical(golden, faulty) and return_identical:
+        return OutcomeClass.IDENTICAL
+    if criterion.acceptable(golden, faulty) and return_acceptable:
+        return OutcomeClass.ACCEPTABLE
+    return OutcomeClass.UNACCEPTABLE

@@ -1,0 +1,382 @@
+"""The aDVF engine (§III-B, §IV): putting the three analyses together.
+
+For every participation of a target data object in the dynamic trace, and
+for every error pattern of the configured error model, the engine decides
+whether the error would be masked:
+
+1. **operation level** — semantic rules over the recorded operand values
+   (:mod:`repro.core.masking`);
+2. **error propagation level** — bounded forward re-execution over the trace
+   (:mod:`repro.core.propagation`);
+3. **algorithm level** — deterministic fault injection plus the workload's
+   acceptance criterion (:mod:`repro.core.injector`).
+
+aDVF of a data object is the number of error-masking events divided by the
+number of element participations (Eq. 1); the per-level and per-category
+breakdowns reproduce Figures 4 and 5 of the paper.  Error-equivalence
+caching (:mod:`repro.core.equivalence`) bounds the number of full analyses
+and injections, mirroring the Relyzer-style acceleration the paper relies
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.acceptance import OutcomeClass
+from repro.core.equivalence import EquivalenceCache
+from repro.core.injector import DeterministicFaultInjector
+from repro.core.masking import (
+    MaskingCategory,
+    MaskingLevel,
+    MaskingVerdict,
+    OperationMaskingAnalyzer,
+)
+from repro.core.participation import (
+    Participation,
+    ParticipationRole,
+    find_participations,
+)
+from repro.core.patterns import ErrorModel, ErrorPattern, SingleBitModel, classify_bit
+from repro.core.propagation import PropagationAnalyzer
+from repro.core.sites import FaultSite
+from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
+    from repro.workloads.base import Workload
+
+
+
+@dataclass
+class AnalysisConfig:
+    """Knobs of the aDVF analysis.
+
+    The defaults match the paper's evaluation (single-bit errors, propagation
+    bound *k* = 50, deterministic injection for unresolved cases) with
+    laptop-scale budgets for the injection campaign.
+    """
+
+    #: Maximum number of operations tracked after the target operation (§III-D).
+    k_propagation: int = 50
+    #: Error model: which error patterns are enumerated per data element.
+    error_model: ErrorModel = field(default_factory=SingleBitModel)
+    #: Resolve unresolved cases with deterministic fault injection.
+    use_injection: bool = True
+    #: Upper bound on injections per data object.
+    max_injections: int = 400
+    #: Full analyses per (static instruction, role, operand, bit) class before
+    #: results are reused (error equivalence).
+    equivalence_samples: int = 2
+    #: Injections per (static instruction, role, operand, bit-class) before
+    #: outcomes are reused.
+    injection_samples_per_class: int = 2
+    #: Relative deviation of an additive result below which the error is a
+    #: value-overshadowing candidate.
+    overshadow_threshold: float = 1e-10
+    #: Evenly subsample the participation list (None = analyse all).
+    max_participations: Optional[int] = None
+    #: When injection is disabled or out of budget, credit analytic
+    #: overshadowing candidates as masked (otherwise they count as unmasked).
+    analytic_overshadow_fallback: bool = True
+
+
+@dataclass
+class AdvfResult:
+    """aDVF of one data object plus its breakdowns (Figures 4 and 5)."""
+
+    object_name: str
+    value: float
+    participations: int
+    masked_events: float
+    by_level: Dict[MaskingLevel, float] = field(default_factory=dict)
+    by_category: Dict[MaskingCategory, float] = field(default_factory=dict)
+
+    def level_fraction(self, level: MaskingLevel) -> float:
+        """Contribution of ``level`` to the aDVF value (Fig. 4 stacking)."""
+        if self.participations == 0:
+            return 0.0
+        return self.by_level.get(level, 0.0) / self.participations
+
+    def category_fraction(self, category: MaskingCategory) -> float:
+        """Contribution of ``category`` to the aDVF value (Fig. 5 stacking)."""
+        if self.participations == 0:
+            return 0.0
+        return self.by_category.get(category, 0.0) / self.participations
+
+
+@dataclass
+class ObjectReport:
+    """Full analysis record for one data object."""
+
+    result: AdvfResult
+    injections: int
+    injection_outcomes: Dict[OutcomeClass, int]
+    propagation_checks: int
+    unresolved: int
+    analyses_performed: int
+    analyses_reused: int
+
+    @property
+    def advf(self) -> float:
+        return self.result.value
+
+
+@dataclass
+class WorkloadReport:
+    """aDVF analysis of (some of) a workload's data objects."""
+
+    workload: str
+    objects: Dict[str, ObjectReport]
+    trace_events: int
+    config: AnalysisConfig
+
+    @property
+    def advf(self) -> Dict[str, AdvfResult]:
+        return {name: report.result for name, report in self.objects.items()}
+
+    def ranking(self) -> List[str]:
+        """Object names from most to least resilient (highest aDVF first)."""
+        return sorted(
+            self.objects, key=lambda name: self.objects[name].advf, reverse=True
+        )
+
+
+class AdvfEngine:
+    """Compute aDVF for the data objects of one workload."""
+
+    def __init__(self, workload: Workload, config: Optional[AnalysisConfig] = None) -> None:
+        self.workload = workload
+        self.config = config or AnalysisConfig()
+        self._trace: Optional[Trace] = None
+        self._masking: Optional[OperationMaskingAnalyzer] = None
+        self._propagation: Optional[PropagationAnalyzer] = None
+        self._injector: Optional[DeterministicFaultInjector] = None
+
+    # ------------------------------------------------------------------ #
+    # preparation
+    # ------------------------------------------------------------------ #
+    @property
+    def trace(self) -> Trace:
+        """The golden traced execution (computed on first use)."""
+        if self._trace is None:
+            outcome = self.workload.traced_run()
+            self._trace = outcome.trace
+        return self._trace
+
+    def _prepare(self) -> None:
+        trace = self.trace
+        if self._masking is None:
+            self._masking = OperationMaskingAnalyzer(
+                trace, overshadow_threshold=self.config.overshadow_threshold
+            )
+        if self._propagation is None:
+            self._propagation = PropagationAnalyzer(
+                trace,
+                k=self.config.k_propagation,
+                output_objects=set(self.workload.output_objects),
+            )
+        if self._injector is None and self.config.use_injection:
+            self._injector = DeterministicFaultInjector(self.workload)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def analyze(self, object_names: Optional[Sequence[str]] = None) -> WorkloadReport:
+        """Analyse the given data objects (default: the workload's targets)."""
+        names = list(object_names) if object_names else list(self.workload.target_objects)
+        reports = {name: self.analyze_object(name) for name in names}
+        return WorkloadReport(
+            workload=self.workload.name,
+            objects=reports,
+            trace_events=len(self.trace),
+            config=self.config,
+        )
+
+    def analyze_object(self, object_name: str) -> ObjectReport:
+        """Compute aDVF (and its breakdowns) for one data object."""
+        self._prepare()
+        config = self.config
+        participations = find_participations(
+            self.trace, object_name, max_participations=config.max_participations
+        )
+
+        site_cache = EquivalenceCache(samples_per_class=config.equivalence_samples)
+        injection_cache = EquivalenceCache(
+            samples_per_class=config.injection_samples_per_class
+        )
+        state = _ObjectState(injection_cache=injection_cache)
+
+        numerator = 0.0
+        by_level: Dict[MaskingLevel, float] = {}
+        by_category: Dict[MaskingCategory, float] = {}
+
+        for participation in participations:
+            patterns = config.error_model.patterns_for(participation.value_type)
+            if not patterns:
+                continue
+            masked_total = 0.0
+            for pattern in patterns:
+                key = (
+                    participation.static_uid,
+                    participation.role.value,
+                    participation.operand_index,
+                    pattern.primary_bit,
+                )
+                if site_cache.should_analyze(key):
+                    masked, level, category = self._analyze_site(
+                        participation, pattern, state
+                    )
+                    site_cache.record(key, masked, level, category)
+                else:
+                    masked, level, category = site_cache.estimate(key)
+                masked_total += masked
+                weight = masked / len(patterns)
+                if weight > 0.0 and level is not None:
+                    by_level[level] = by_level.get(level, 0.0) + weight
+                if weight > 0.0 and category is not None:
+                    by_category[category] = by_category.get(category, 0.0) + weight
+            numerator += masked_total / len(patterns)
+
+        denominator = len(participations)
+        result = AdvfResult(
+            object_name=object_name,
+            value=(numerator / denominator) if denominator else 0.0,
+            participations=denominator,
+            masked_events=numerator,
+            by_level=by_level,
+            by_category=by_category,
+        )
+        return ObjectReport(
+            result=result,
+            injections=state.injections,
+            injection_outcomes=state.injection_outcomes,
+            propagation_checks=state.propagation_checks,
+            unresolved=state.unresolved,
+            analyses_performed=site_cache.analyses_performed,
+            analyses_reused=site_cache.analyses_reused,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-site decision procedure (Fig. 3)
+    # ------------------------------------------------------------------ #
+    def _analyze_site(
+        self,
+        participation: Participation,
+        pattern: ErrorPattern,
+        state: "_ObjectState",
+    ) -> Tuple[float, Optional[MaskingLevel], Optional[MaskingCategory]]:
+        verdict = self._masking.analyze(participation, pattern)
+        if verdict.masked is True:
+            return 1.0, verdict.level, verdict.category
+        if verdict.masked is False and not (
+            verdict.needs_propagation or verdict.needs_injection
+        ):
+            return 0.0, None, None
+
+        if verdict.needs_propagation:
+            state.propagation_checks += 1
+            propagation = self._propagation.analyze(
+                participation, pattern, verdict.corrupted_result
+            )
+            if propagation.masked is True:
+                level = (
+                    MaskingLevel.OPERATION
+                    if propagation.steps_analyzed == 0
+                    else MaskingLevel.PROPAGATION
+                )
+                category = propagation.category or MaskingCategory.OVERWRITE
+                return 1.0, level, category
+            # unresolved / survived: fall through to injection
+
+        return self._resolve_by_injection(participation, pattern, verdict, state)
+
+    def _resolve_by_injection(
+        self,
+        participation: Participation,
+        pattern: ErrorPattern,
+        verdict: MaskingVerdict,
+        state: "_ObjectState",
+    ) -> Tuple[float, Optional[MaskingLevel], Optional[MaskingCategory]]:
+        config = self.config
+        can_inject = (
+            config.use_injection
+            and self._injector is not None
+            and pattern.is_single_bit
+        )
+        injection_key = (
+            participation.static_uid,
+            participation.role.value,
+            participation.operand_index,
+            classify_bit(pattern.primary_bit, participation.value_type),
+        )
+
+        if can_inject and state.injections < config.max_injections and (
+            state.injection_cache.should_analyze(injection_key)
+        ):
+            site = FaultSite(participation, pattern.primary_bit)
+            result = self._injector.inject(site.to_spec())
+            state.injections += 1
+            state.injection_outcomes[result.outcome] = (
+                state.injection_outcomes.get(result.outcome, 0) + 1
+            )
+            masked, level, category = self._classify_injection(result.outcome, verdict)
+            state.injection_cache.record(injection_key, masked, level, category)
+            return masked, level, category
+
+        if injection_key in state.injection_cache.entries and (
+            state.injection_cache.entries[injection_key].sample_count > 0
+        ):
+            return state.injection_cache.estimate(injection_key)
+
+        # Out of budget (or injection disabled): analytic fallback.
+        if verdict.overshadow_candidate and config.analytic_overshadow_fallback:
+            return 1.0, MaskingLevel.OPERATION, MaskingCategory.OVERSHADOW
+        state.unresolved += 1
+        return 0.0, None, None
+
+    @staticmethod
+    def _classify_injection(
+        outcome: OutcomeClass, verdict: MaskingVerdict
+    ) -> Tuple[float, Optional[MaskingLevel], Optional[MaskingCategory]]:
+        """Paper attribution rules for injection-resolved masking (§III-C/E)."""
+        if not outcome.is_success:
+            return 0.0, None, None
+        if verdict.overshadow_candidate:
+            # Overshadowing initiated the masking; attribute it there even if
+            # the outcome only becomes acceptable further downstream.
+            return 1.0, MaskingLevel.OPERATION, MaskingCategory.OVERSHADOW
+        if outcome is OutcomeClass.IDENTICAL:
+            # Numerically identical outcome: error propagation masked it.
+            return 1.0, MaskingLevel.PROPAGATION, MaskingCategory.OVERWRITE
+        return 1.0, MaskingLevel.ALGORITHM, MaskingCategory.ALGORITHMIC
+
+
+@dataclass
+class _ObjectState:
+    """Mutable per-object bookkeeping shared across site analyses."""
+
+    injection_cache: EquivalenceCache
+    injections: int = 0
+    propagation_checks: int = 0
+    unresolved: int = 0
+    injection_outcomes: Dict[OutcomeClass, int] = field(default_factory=dict)
+
+
+def analyze_workload(
+    workload: Union[str, Workload],
+    targets: Optional[Sequence[str]] = None,
+    config: Optional[AnalysisConfig] = None,
+    **workload_kwargs,
+) -> WorkloadReport:
+    """Convenience wrapper: aDVF analysis of a workload by name or instance.
+
+    >>> report = analyze_workload("lu", targets=["sum"])      # doctest: +SKIP
+    >>> round(report.advf["sum"].value, 2)                     # doctest: +SKIP
+    """
+    if isinstance(workload, str):
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload(workload, **workload_kwargs)
+    engine = AdvfEngine(workload, config)
+    return engine.analyze(targets)

@@ -1,0 +1,103 @@
+"""Deterministic fault injector (§IV).
+
+The injector re-executes a workload from identical initial state with one
+single-bit fault applied at a specific dynamic instruction operand, runs it
+to completion, and classifies the outcome against the golden run using the
+workload's acceptance criterion.  MOARD uses it for the analyses the trace
+analysis tool cannot resolve statically: algorithm-level masking, corrupted
+control flow / addressing, and value-overshadowing confirmation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import OutcomeClass, ScalarResultCheck, classify_outcome
+from repro.vm.errors import StepLimitExceeded, VMError
+from repro.vm.faults import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
+    from repro.workloads.base import RunOutcome, Workload
+
+
+
+@dataclass
+class FaultInjectionResult:
+    """Classification of one faulty run."""
+
+    spec: FaultSpec
+    outcome: OutcomeClass
+    detail: str = ""
+
+    @property
+    def masked(self) -> bool:
+        return self.outcome.is_masked
+
+
+class DeterministicFaultInjector:
+    """Run a workload with single, precisely-placed bit flips."""
+
+    def __init__(self, workload: Workload, check_return_value: Optional[bool] = None) -> None:
+        self.workload = workload
+        if check_return_value is None:
+            check_return_value = getattr(workload, "check_return_value", True)
+        self.check_return_value = check_return_value
+        self._golden: Optional[RunOutcome] = None
+        self.runs = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def golden(self) -> RunOutcome:
+        """The cached fault-free reference run."""
+        if self._golden is None:
+            self._golden = self.workload.golden_run()
+        return self._golden
+
+    def inject(self, spec: FaultSpec) -> FaultInjectionResult:
+        """Execute one faulty run and classify the outcome."""
+        golden = self.golden
+        instance = self.workload.fresh_instance()
+        self.runs += 1
+        crashed = hung = False
+        detail = ""
+        outputs: Dict[str, np.ndarray] = {}
+        return_value = None
+        try:
+            outcome = instance.run(fault=spec)
+            outputs = outcome.outputs
+            return_value = outcome.return_value
+        except StepLimitExceeded as exc:
+            hung = True
+            detail = str(exc)
+        except VMError as exc:
+            crashed = True
+            detail = str(exc)
+
+        classification = classify_outcome(
+            self.workload.acceptance,
+            golden.outputs,
+            outputs,
+            crashed=crashed,
+            hung=hung,
+            golden_return=golden.return_value,
+            faulty_return=return_value,
+            return_check=ScalarResultCheck() if self.check_return_value else None,
+        )
+        return FaultInjectionResult(spec=spec, outcome=classification, detail=detail)
+
+    def inject_many(self, specs: Sequence[FaultSpec]) -> List[FaultInjectionResult]:
+        """Inject every spec (sequentially); see :mod:`repro.parallel` for the
+        multiprocessing campaign runner."""
+        return [self.inject(spec) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    def outcome_histogram(
+        self, results: Sequence[FaultInjectionResult]
+    ) -> Dict[OutcomeClass, int]:
+        histogram: Dict[OutcomeClass, int] = {}
+        for result in results:
+            histogram[result.outcome] = histogram.get(result.outcome, 0) + 1
+        return histogram

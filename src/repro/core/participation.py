@@ -1,0 +1,149 @@
+"""Finding the operations in which a target data object participates.
+
+aDVF (Eq. 1) is defined over "operations with the participation of the
+target data object".  At the IR-trace level a participation is either
+
+* an operation that *consumes* a value loaded from the object (the loaded
+  value is used, unmodified, as one of the operation's operands), or
+* a ``store`` whose destination is an element of the object (the paper's
+  "assignment to the data object": the old value at the destination is what
+  the injected error would sit in).
+
+Loads themselves are not counted as participations — the loaded value's
+*consumer* is — matching the paper's LU walk-through, where
+``sum[m] = sum[m] + v*v`` contributes one addition and one assignment (not a
+load) to the denominator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir.instructions import Opcode
+from repro.ir.types import IRType
+from repro.tracing.events import OperandKind, TraceEvent
+from repro.tracing.trace import Trace
+
+
+class ParticipationRole(enum.Enum):
+    """How the target data object takes part in the operation."""
+
+    #: One operand of the operation is the value of an element of the object.
+    CONSUMED = "consumed"
+    #: The operation stores into an element of the object (overwrite site).
+    STORE_DEST = "store_dest"
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One (operation, element) pair entering the aDVF denominator."""
+
+    event_id: int
+    role: ParticipationRole
+    #: Operand position of the consumed value (``-1`` for STORE_DEST).
+    operand_index: int
+    #: Element index within the target data object.
+    element_index: int
+    #: Dynamic id of the load that produced the consumed value (``-1`` for
+    #: STORE_DEST).
+    load_event_id: int
+    #: IR type of the element value at the point of participation.
+    value_type: IRType
+    #: Static instruction identity (for error-equivalence grouping).
+    static_uid: int
+
+
+def find_participations(
+    trace: Trace,
+    object_name: str,
+    max_participations: Optional[int] = None,
+) -> List[Participation]:
+    """Enumerate every participation of ``object_name`` in ``trace``.
+
+    ``max_participations`` caps the result by taking an evenly-strided
+    subsample (deterministic), which keeps analysis of very long traces
+    bounded; the aDVF value is a ratio, so even subsampling preserves it in
+    expectation.
+    """
+    participations: List[Participation] = []
+
+    for event in trace:
+        if event.is_store and event.object_name == object_name:
+            participations.append(
+                Participation(
+                    event_id=event.dynamic_id,
+                    role=ParticipationRole.STORE_DEST,
+                    operand_index=-1,
+                    element_index=event.element_index,  # type: ignore[arg-type]
+                    load_event_id=-1,
+                    value_type=event.operand_types[0],
+                    static_uid=event.static_uid,
+                )
+            )
+        if event.is_load:
+            continue
+        for operand_index in range(event.operand_count()):
+            if event.operand_kinds[operand_index] is not OperandKind.INSTRUCTION:
+                continue
+            hit = trace.operand_is_direct_load_of(event, operand_index, object_name)
+            if hit is None:
+                continue
+            element_index, load_id = hit
+            participations.append(
+                Participation(
+                    event_id=event.dynamic_id,
+                    role=ParticipationRole.CONSUMED,
+                    operand_index=operand_index,
+                    element_index=element_index,
+                    load_event_id=load_id,
+                    value_type=event.operand_types[operand_index],
+                    static_uid=event.static_uid,
+                )
+            )
+
+    if max_participations is not None and len(participations) > max_participations:
+        stride = len(participations) / max_participations
+        participations = [
+            participations[int(i * stride)] for i in range(max_participations)
+        ]
+    return participations
+
+
+def is_read_modify_write(trace: Trace, store_event: TraceEvent, max_depth: int = 32) -> bool:
+    """Whether the value stored by ``store_event`` depends on the destination.
+
+    Walks the producer chain of the stored value looking for a load of the
+    same ``(object, element)``.  An accumulation such as ``x[i] = x[i] + v``
+    is a read-modify-write: the store does *not* overwrite an error sitting
+    in ``x[i]`` because the error has already been folded into the value
+    being written back.
+    """
+    target = store_event.touches
+    if target is None:
+        return False
+    worklist = [store_event.operand_producers[0]]
+    seen = set()
+    depth = 0
+    while worklist and depth < max_depth:
+        depth += 1
+        producer_id = worklist.pop()
+        if producer_id < 0 or producer_id in seen:
+            continue
+        seen.add(producer_id)
+        producer = trace[producer_id]
+        if producer.is_load and producer.touches == target:
+            return True
+        worklist.extend(producer.operand_producers)
+    return False
+
+
+def participation_counts_by_role(
+    participations: List[Participation],
+) -> Dict[ParticipationRole, int]:
+    """Histogram of participations by role (used in reports and tests)."""
+    counts: Dict[ParticipationRole, int] = {}
+    for participation in participations:
+        counts[participation.role] = counts.get(participation.role, 0) + 1
+    return counts

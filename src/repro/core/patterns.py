@@ -1,0 +1,172 @@
+"""Error patterns (§III-C, §VII-B).
+
+An *error pattern* describes how erroneous bits are distributed within one
+corrupted data element.  The evaluation of the paper uses single-bit flips
+("they are the most common errors"); §VII-B sketches the extension to
+multi-bit patterns (spatially contiguous or separated).  Both are modelled
+here so the aDVF engine can be parameterised by an :class:`ErrorModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.ir.types import IRType
+from repro.vm.bits import bits_to_value, value_to_bits
+
+Number = Union[int, float]
+
+
+class BitClass(enum.Enum):
+    """Coarse grouping of bit positions, used for error equivalence.
+
+    For IEEE-754 doubles the behavioural difference between flipping the
+    sign, an exponent bit, a high mantissa bit or a low mantissa bit is much
+    larger than the difference between two neighbouring mantissa bits;
+    grouping by class is what lets the equivalence cache (and the injection
+    budget) stay small without changing the shape of the results.
+    """
+
+    SIGN = "sign"
+    EXPONENT = "exponent"
+    MANTISSA_HIGH = "mantissa_high"
+    MANTISSA_LOW = "mantissa_low"
+    INT_HIGH = "int_high"
+    INT_MID = "int_mid"
+    INT_LOW = "int_low"
+
+
+def classify_bit(bit: int, ir_type: IRType) -> BitClass:
+    """Map a bit position to its :class:`BitClass` for ``ir_type``."""
+    if ir_type.is_float and ir_type.bits == 64:
+        if bit == 63:
+            return BitClass.SIGN
+        if bit >= 52:
+            return BitClass.EXPONENT
+        if bit >= 26:
+            return BitClass.MANTISSA_HIGH
+        return BitClass.MANTISSA_LOW
+    if ir_type.is_float and ir_type.bits == 32:
+        if bit == 31:
+            return BitClass.SIGN
+        if bit >= 23:
+            return BitClass.EXPONENT
+        if bit >= 12:
+            return BitClass.MANTISSA_HIGH
+        return BitClass.MANTISSA_LOW
+    width = ir_type.bits
+    if bit >= 2 * width // 3:
+        return BitClass.INT_HIGH
+    if bit >= width // 3:
+        return BitClass.INT_MID
+    return BitClass.INT_LOW
+
+
+@dataclass(frozen=True)
+class ErrorPattern:
+    """A specific set of bit positions flipped within one data element."""
+
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ValueError("an error pattern must flip at least one bit")
+        if len(set(self.bits)) != len(self.bits):
+            raise ValueError("an error pattern cannot flip the same bit twice")
+
+    @property
+    def is_single_bit(self) -> bool:
+        return len(self.bits) == 1
+
+    @property
+    def primary_bit(self) -> int:
+        """The lowest flipped bit (used for equivalence-class lookups)."""
+        return min(self.bits)
+
+    def apply(self, value: Number, ir_type: IRType) -> Number:
+        """Return ``value`` with this pattern's bits flipped under ``ir_type``."""
+        raw = value_to_bits(value, ir_type)
+        for bit in self.bits:
+            if bit >= ir_type.bits:
+                raise ValueError(
+                    f"bit {bit} outside {ir_type.bits}-bit type {ir_type}"
+                )
+            raw ^= 1 << bit
+        return bits_to_value(raw, ir_type)
+
+    def describe(self) -> str:
+        return "+".join(str(b) for b in sorted(self.bits))
+
+
+class ErrorModel(ABC):
+    """Enumerates the error patterns considered for a value of a given type."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def patterns_for(self, ir_type: IRType) -> List[ErrorPattern]:
+        """All error patterns this model considers for ``ir_type`` values."""
+
+    def pattern_count(self, ir_type: IRType) -> int:
+        return len(self.patterns_for(ir_type))
+
+    def __iter__(self) -> Iterator[str]:  # pragma: no cover - trivial
+        yield self.name
+
+
+class SingleBitModel(ErrorModel):
+    """One pattern per bit position — the paper's evaluation model.
+
+    ``bit_stride`` > 1 subsamples the positions evenly (every ``stride``-th
+    bit); aDVF then treats each sampled pattern as representative of its
+    stride group, which keeps analysis cost proportional while preserving
+    the per-bit-class behaviour.
+    """
+
+    def __init__(self, bit_stride: int = 1) -> None:
+        if bit_stride < 1:
+            raise ValueError("bit_stride must be >= 1")
+        self.bit_stride = bit_stride
+        self.name = "single-bit" if bit_stride == 1 else f"single-bit/{bit_stride}"
+
+    def patterns_for(self, ir_type: IRType) -> List[ErrorPattern]:
+        width = ir_type.bits
+        return [ErrorPattern((bit,)) for bit in range(0, width, self.bit_stride)]
+
+
+class MultiBitModel(ErrorModel):
+    """Two-bit patterns: spatially contiguous or separated by ``separation``.
+
+    This implements the §VII-B extension.  For an n-bit type it enumerates
+    ``(b, b+1)`` pairs (contiguous) or ``(b, b+separation)`` pairs.
+    """
+
+    def __init__(self, separation: int = 1, bit_stride: int = 1) -> None:
+        if separation < 1:
+            raise ValueError("separation must be >= 1")
+        if bit_stride < 1:
+            raise ValueError("bit_stride must be >= 1")
+        self.separation = separation
+        self.bit_stride = bit_stride
+        kind = "contiguous" if separation == 1 else f"separated-{separation}"
+        self.name = f"double-bit-{kind}"
+
+    def patterns_for(self, ir_type: IRType) -> List[ErrorPattern]:
+        width = ir_type.bits
+        return [
+            ErrorPattern((bit, bit + self.separation))
+            for bit in range(0, width - self.separation, self.bit_stride)
+        ]
+
+
+def patterns_by_class(
+    model: ErrorModel, ir_type: IRType
+) -> List[Tuple[ErrorPattern, BitClass]]:
+    """Pair every pattern with the bit class of its primary bit."""
+    return [
+        (pattern, classify_bit(pattern.primary_bit, ir_type))
+        for pattern in model.patterns_for(ir_type)
+    ]

@@ -1,0 +1,26 @@
+"""Kernel frontend: compiles a restricted Python subset to the MOARD IR.
+
+The original MOARD instruments C/Fortran benchmarks with an LLVM pass.  This
+reproduction instead lets workloads be written as ordinary Python functions
+in a restricted "kernel" dialect (typed parameters, ``for``/``while``/``if``,
+flat 1-D pointer indexing, scalar arithmetic, math intrinsics) which are then
+compiled — via the CPython ``ast`` module — into the IR defined in
+:mod:`repro.ir`.  Executing the compiled IR on the tracing VM produces the
+dynamic instruction traces the aDVF analysis consumes.
+
+Public API
+----------
+:func:`compile_kernel`, :func:`compile_kernels`, :class:`KernelCompileError`.
+"""
+
+from repro.frontend.errors import KernelCompileError
+from repro.frontend.intrinsics import INTRINSICS, IntrinsicInfo
+from repro.frontend.compiler import compile_kernel, compile_kernels
+
+__all__ = [
+    "KernelCompileError",
+    "INTRINSICS",
+    "IntrinsicInfo",
+    "compile_kernel",
+    "compile_kernels",
+]

@@ -1,0 +1,778 @@
+"""Compiler from the restricted Python kernel dialect to the MOARD IR.
+
+Supported subset
+----------------
+* Parameters annotated with IR type spellings (``"double*"``, ``"i64"``,
+  ``"double"``, ``"i32*"`` …); return annotation optional (defaults to void).
+* Local scalar variables (type inferred from the first assignment).
+* ``for v in range(...)`` (1–3 arguments), ``while``, ``if``/``elif``/``else``,
+  ``break``, ``continue``, ``return``, ``pass``.
+* 1-D subscripts on pointer parameters/locals (reads and writes).
+* Arithmetic (``+ - * / // % ** << >> & | ^``), unary ``-``/``not``,
+  comparisons, ``and``/``or`` (non-short-circuit), conditional expressions.
+* Calls to the math intrinsics in :mod:`repro.frontend.intrinsics` and to
+  other kernels already compiled into the same module.
+* ``int(x)`` / ``float(x)`` conversions.
+
+Everything is lowered at "-O0" fidelity: every local lives in a stack slot
+(``alloca``) with explicit loads and stores, mirroring the un-optimised LLVM
+IR the paper's tool consumes, so that assignment/overwrite semantics are
+visible to the masking analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.errors import KernelCompileError
+from repro.frontend.intrinsics import INTRINSICS
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    FCmpPredicate,
+    ICmpPredicate,
+    Instruction,
+    Opcode,
+)
+from repro.ir.types import (
+    F64,
+    I1,
+    I64,
+    IRType,
+    PointerType,
+    VOID,
+    parse_type,
+    pointer_to,
+)
+from repro.ir.values import Constant, Value
+from repro.ir.verify import verify_function
+
+
+_ICMP_BY_AST = {
+    ast.Eq: ICmpPredicate.EQ,
+    ast.NotEq: ICmpPredicate.NE,
+    ast.Lt: ICmpPredicate.SLT,
+    ast.LtE: ICmpPredicate.SLE,
+    ast.Gt: ICmpPredicate.SGT,
+    ast.GtE: ICmpPredicate.SGE,
+}
+_FCMP_BY_AST = {
+    ast.Eq: FCmpPredicate.OEQ,
+    ast.NotEq: FCmpPredicate.ONE,
+    ast.Lt: FCmpPredicate.OLT,
+    ast.LtE: FCmpPredicate.OLE,
+    ast.Gt: FCmpPredicate.OGT,
+    ast.GtE: FCmpPredicate.OGE,
+}
+
+
+class _KernelCompiler:
+    """Stateful single-function compiler (one instance per kernel)."""
+
+    def __init__(
+        self,
+        module: Module,
+        name: str,
+        tree: ast.FunctionDef,
+        global_constants: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.module = module
+        self.name = name
+        self.tree = tree
+        #: Module-level numeric constants visible to the kernel (e.g. flag masks).
+        self.global_constants = global_constants or {}
+        self.function: Optional[Function] = None
+        self.builder: Optional[IRBuilder] = None
+        self.entry_block: Optional[BasicBlock] = None
+        #: name -> (alloca instruction, element type)
+        self.locals: Dict[str, Tuple[Value, IRType]] = {}
+        #: name -> Argument (scalars and pointers)
+        self.params: Dict[str, Value] = {}
+        #: stack of (break target, continue target)
+        self.loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _error(self, message: str, node: Optional[ast.AST] = None) -> KernelCompileError:
+        line = getattr(node, "lineno", None) if node is not None else None
+        return KernelCompileError(message, kernel=self.name, line=line)
+
+    def _parse_annotation(self, node: Optional[ast.expr], what: str) -> IRType:
+        if node is None:
+            raise self._error(f"{what} requires a type annotation")
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            spelling = node.value
+        elif isinstance(node, ast.Name):
+            spelling = node.id
+        else:
+            raise self._error(f"unsupported annotation for {what}", node)
+        try:
+            return parse_type(spelling)
+        except ValueError as exc:
+            raise self._error(str(exc), node) from None
+
+    def _new_local(self, name: str, element_type: IRType) -> Tuple[Value, IRType]:
+        """Create a stack slot for a new local variable in the entry block."""
+        assert self.entry_block is not None
+        alloca = Instruction(
+            Opcode.ALLOCA, pointer_to(element_type), [], name=f"{name}.addr"
+        )
+        self.entry_block.append(alloca)
+        slot = (alloca, element_type)
+        self.locals[name] = slot
+        return slot
+
+    def _coerce(self, value: Value, target: IRType, node: Optional[ast.AST] = None) -> Value:
+        """Insert the conversion needed to view ``value`` as type ``target``."""
+        b = self.builder
+        assert b is not None
+        src = value.type
+        if src == target:
+            return value
+        if src.is_integer and target.is_integer:
+            if src.bits < target.bits:
+                return b.zext(value, target) if src.is_bool else b.sext(value, target)
+            return b.trunc(value, target)
+        if src.is_integer and target.is_float:
+            return b.sitofp(value, target)
+        if src.is_float and target.is_integer:
+            return b.fptosi(value, target)
+        if src.is_float and target.is_float:
+            if src.bits < target.bits:
+                return b.fpext(value, target)
+            return b.fptrunc(value, target)
+        raise self._error(f"cannot convert {src} to {target}", node)
+
+    def _as_bool(self, value: Value, node: Optional[ast.AST] = None) -> Value:
+        """Coerce an arbitrary scalar to ``i1`` (non-zero test)."""
+        b = self.builder
+        assert b is not None
+        if value.type.is_bool:
+            return value
+        if value.type.is_integer:
+            return b.icmp(ICmpPredicate.NE, value, Constant(value.type, 0), value.type)
+        if value.type.is_float:
+            return b.fcmp(FCmpPredicate.ONE, value, Constant(value.type, 0.0), value.type)
+        raise self._error("cannot use a pointer as a boolean", node)
+
+    def _common_type(self, lhs: Value, rhs: Value) -> IRType:
+        if lhs.type.is_float or rhs.type.is_float:
+            return F64
+        return I64
+
+    # ------------------------------------------------------------------ #
+    # top level
+    # ------------------------------------------------------------------ #
+    def compile(self) -> Function:
+        tree = self.tree
+        arg_types: List[IRType] = []
+        arg_names: List[str] = []
+        if tree.args.posonlyargs or tree.args.kwonlyargs or tree.args.vararg or tree.args.kwarg:
+            raise self._error("only plain positional parameters are supported")
+        for arg in tree.args.args:
+            arg_types.append(self._parse_annotation(arg.annotation, f"parameter {arg.arg!r}"))
+            arg_names.append(arg.arg)
+        if tree.returns is not None:
+            if isinstance(tree.returns, ast.Constant) and tree.returns.value is None:
+                return_type = VOID
+            else:
+                spelling = (
+                    tree.returns.value
+                    if isinstance(tree.returns, ast.Constant)
+                    else getattr(tree.returns, "id", None)
+                )
+                return_type = VOID if spelling in ("void", None) else self._parse_annotation(
+                    tree.returns, "return type"
+                )
+        else:
+            return_type = VOID
+
+        func = Function(self.name, arg_types, arg_names, return_type)
+        self.function = func
+        self.entry_block = func.add_block("entry")
+        body_block = func.add_block("body")
+        self.builder = IRBuilder(func)
+        self.builder.set_block(body_block)
+        for arg in func.args:
+            self.params[arg.name] = arg
+
+        statements = tree.body
+        # skip a leading docstring
+        if (
+            statements
+            and isinstance(statements[0], ast.Expr)
+            and isinstance(statements[0].value, ast.Constant)
+            and isinstance(statements[0].value.value, str)
+        ):
+            statements = statements[1:]
+        self._compile_body(statements)
+
+        # close the function
+        if not self.builder.block.is_terminated:
+            if return_type.is_void:
+                self.builder.ret()
+            else:
+                # The fall-through block is a genuine error only when it can
+                # actually execute; joins whose branches all returned (e.g. an
+                # exhaustive if/elif/else) are unreachable and merely need a
+                # dead terminator.
+                open_block = self.builder.block
+                open_block.append(Instruction(Opcode.RET, VOID, [Constant(return_type, 0)]))
+                if id(open_block) in self._reachable_blocks(body_block):
+                    raise self._error(
+                        "non-void kernel falls off the end without a return"
+                    )
+        # entry block only holds allocas; jump to the body
+        entry_builder = IRBuilder(func)
+        entry_builder.set_block(self.entry_block)
+        entry_builder.br(body_block)
+        # close any remaining unreachable blocks (dead-code continuations)
+        # with a dead return so the verifier never sees an open block.
+        for block in self.function.blocks:
+            if not block.is_terminated:
+                closer = IRBuilder(func)
+                closer.set_block(block)
+                if return_type.is_void:
+                    closer.ret()
+                else:
+                    closer.ret(Constant(return_type, 0))
+        func.metadata["source"] = ast.unparse(tree)
+        verify_function(func, self.module)
+        return func
+
+    def _reachable_blocks(self, start: BasicBlock) -> set:
+        """Blocks reachable from ``start`` following branch targets."""
+        seen = set()
+        worklist = [start]
+        while worklist:
+            block = worklist.pop()
+            if id(block) in seen:
+                continue
+            seen.add(id(block))
+            terminator = block.terminator
+            if terminator is not None:
+                worklist.extend(terminator.targets)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _compile_body(self, statements: Sequence[ast.stmt]) -> None:
+        for stmt in statements:
+            if self.builder.block.is_terminated:
+                # unreachable code after return/break/continue: keep compiling
+                # into a fresh block so the verifier stays happy.
+                dead = self.function.add_block("dead")
+                self.builder.set_block(dead)
+            self._compile_statement(stmt)
+
+    def _compile_statement(self, stmt: ast.stmt) -> None:
+        self.builder.current_line = getattr(stmt, "lineno", None)
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._compile_aug_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._compile_ann_assign(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._compile_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._compile_continue(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._compile_expression(stmt.value)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        else:
+            raise self._error(
+                f"unsupported statement: {type(stmt).__name__}", stmt
+            )
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self._error("chained assignment is not supported", stmt)
+        target = stmt.targets[0]
+        value = self._compile_expression(stmt.value)
+        self._store_to_target(target, value)
+
+    def _compile_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            raise self._error("annotated assignment target must be a name", stmt)
+        element_type = self._parse_annotation(stmt.annotation, f"local {stmt.target.id!r}")
+        if stmt.target.id not in self.locals:
+            self._new_local(stmt.target.id, element_type)
+        if stmt.value is not None:
+            value = self._compile_expression(stmt.value)
+            self._store_to_target(stmt.target, value)
+
+    def _compile_aug_assign(self, stmt: ast.AugAssign) -> None:
+        current = self._load_from_target(stmt.target)
+        rhs = self._compile_expression(stmt.value)
+        combined = self._binary_op(stmt.op, current, rhs, stmt)
+        self._store_to_target(stmt.target, combined)
+
+    def _store_to_target(self, target: ast.expr, value: Value) -> None:
+        b = self.builder
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.params:
+                raise self._error(
+                    f"cannot reassign parameter {name!r}; copy it to a local first",
+                    target,
+                )
+            if name in self.locals:
+                slot, element_type = self.locals[name]
+            else:
+                element_type = value.type if not value.type.is_bool else I64
+                slot, element_type = self._new_local(name, element_type)
+            b.store(self._coerce(value, element_type, target), slot)
+        elif isinstance(target, ast.Subscript):
+            pointer = self._subscript_address(target)
+            b.store(self._coerce(value, pointer.type.pointee, target), pointer)
+        else:
+            raise self._error(
+                f"unsupported assignment target: {type(target).__name__}", target
+            )
+
+    def _load_from_target(self, target: ast.expr) -> Value:
+        if isinstance(target, ast.Name):
+            return self._compile_name(target)
+        if isinstance(target, ast.Subscript):
+            return self.builder.load(self._subscript_address(target))
+        raise self._error(
+            f"unsupported augmented-assignment target: {type(target).__name__}", target
+        )
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        b = self.builder
+        if stmt.value is None:
+            if not self.function.return_type.is_void:
+                raise self._error("return without a value in a non-void kernel", stmt)
+            b.ret()
+            return
+        value = self._compile_expression(stmt.value)
+        if self.function.return_type.is_void:
+            raise self._error("return with a value in a void kernel", stmt)
+        b.ret(self._coerce(value, self.function.return_type, stmt))
+
+    def _compile_break(self, stmt: ast.Break) -> None:
+        if not self.loop_stack:
+            raise self._error("break outside a loop", stmt)
+        self.builder.br(self.loop_stack[-1][0])
+
+    def _compile_continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_stack:
+            raise self._error("continue outside a loop", stmt)
+        self.builder.br(self.loop_stack[-1][1])
+
+    # ------------------------------------------------------------------ #
+    # control flow
+    # ------------------------------------------------------------------ #
+    def _compile_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self._error("for/else is not supported", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self._error("for target must be a simple name", stmt)
+        if not (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+        ):
+            raise self._error("for loops must iterate over range(...)", stmt)
+        range_args = stmt.iter.args
+        if not 1 <= len(range_args) <= 3:
+            raise self._error("range() takes 1 to 3 arguments", stmt)
+
+        b = self.builder
+        func = self.function
+        if len(range_args) == 1:
+            start: Value = Constant(I64, 0)
+            stop = self._coerce(self._compile_expression(range_args[0]), I64, stmt)
+            step: Value = Constant(I64, 1)
+        else:
+            start = self._coerce(self._compile_expression(range_args[0]), I64, stmt)
+            stop = self._coerce(self._compile_expression(range_args[1]), I64, stmt)
+            step = (
+                self._coerce(self._compile_expression(range_args[2]), I64, stmt)
+                if len(range_args) == 3
+                else Constant(I64, 1)
+            )
+
+        name = stmt.target.id
+        if name in self.locals:
+            slot, element_type = self.locals[name]
+            if not element_type.is_integer:
+                raise self._error(f"loop variable {name!r} is not an integer", stmt)
+        else:
+            slot, element_type = self._new_local(name, I64)
+        b.store(self._coerce(start, element_type, stmt), slot)
+
+        cond_block = func.add_block("for.cond")
+        body_block = func.add_block("for.body")
+        inc_block = func.add_block("for.inc")
+        end_block = func.add_block("for.end")
+
+        b.br(cond_block)
+        b.set_block(cond_block)
+        induction = b.load(slot)
+        # negative constant steps compare with > stop, everything else with <
+        descending = isinstance(step, Constant) and step.value < 0
+        predicate = ICmpPredicate.SGT if descending else ICmpPredicate.SLT
+        cond = b.icmp(predicate, induction, stop, I64)
+        b.cond_br(cond, body_block, end_block)
+
+        b.set_block(body_block)
+        self.loop_stack.append((end_block, inc_block))
+        self._compile_body(stmt.body)
+        self.loop_stack.pop()
+        if not b.block.is_terminated:
+            b.br(inc_block)
+
+        b.set_block(inc_block)
+        current = b.load(slot)
+        b.store(b.add(current, step, I64), slot)
+        b.br(cond_block)
+
+        b.set_block(end_block)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self._error("while/else is not supported", stmt)
+        b = self.builder
+        func = self.function
+        cond_block = func.add_block("while.cond")
+        body_block = func.add_block("while.body")
+        end_block = func.add_block("while.end")
+
+        b.br(cond_block)
+        b.set_block(cond_block)
+        cond = self._as_bool(self._compile_expression(stmt.test), stmt)
+        b.cond_br(cond, body_block, end_block)
+
+        b.set_block(body_block)
+        self.loop_stack.append((end_block, cond_block))
+        self._compile_body(stmt.body)
+        self.loop_stack.pop()
+        if not b.block.is_terminated:
+            b.br(cond_block)
+
+        b.set_block(end_block)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        func = self.function
+        cond = self._as_bool(self._compile_expression(stmt.test), stmt)
+        then_block = func.add_block("if.then")
+        else_block = func.add_block("if.else") if stmt.orelse else None
+        merge_block = func.add_block("if.end")
+
+        b.cond_br(cond, then_block, else_block if else_block is not None else merge_block)
+
+        b.set_block(then_block)
+        self._compile_body(stmt.body)
+        if not b.block.is_terminated:
+            b.br(merge_block)
+
+        if else_block is not None:
+            b.set_block(else_block)
+            self._compile_body(stmt.orelse)
+            if not b.block.is_terminated:
+                b.br(merge_block)
+
+        b.set_block(merge_block)
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def _compile_expression(self, node: ast.expr) -> Value:
+        if isinstance(node, ast.Constant):
+            return self._compile_constant(node)
+        if isinstance(node, ast.Name):
+            return self._compile_name(node)
+        if isinstance(node, ast.Subscript):
+            return self.builder.load(self._subscript_address(node))
+        if isinstance(node, ast.BinOp):
+            lhs = self._compile_expression(node.left)
+            rhs = self._compile_expression(node.right)
+            return self._binary_op(node.op, lhs, rhs, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._compile_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._compile_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._compile_boolop(node)
+        if isinstance(node, ast.Call):
+            return self._compile_call(node)
+        if isinstance(node, ast.IfExp):
+            cond = self._as_bool(self._compile_expression(node.test), node)
+            then_value = self._compile_expression(node.body)
+            else_value = self._compile_expression(node.orelse)
+            common = self._common_type(then_value, else_value)
+            return self.builder.select(
+                cond,
+                self._coerce(then_value, common, node),
+                self._coerce(else_value, common, node),
+            )
+        raise self._error(f"unsupported expression: {type(node).__name__}", node)
+
+    def _compile_constant(self, node: ast.Constant) -> Value:
+        value = node.value
+        if isinstance(value, bool):
+            return Constant(I1, 1 if value else 0)
+        if isinstance(value, int):
+            return Constant(I64, value)
+        if isinstance(value, float):
+            return Constant(F64, value)
+        raise self._error(f"unsupported constant {value!r}", node)
+
+    def _compile_name(self, node: ast.Name) -> Value:
+        name = node.id
+        if name in self.params:
+            return self.params[name]
+        if name in self.locals:
+            slot, _ = self.locals[name]
+            return self.builder.load(slot)
+        if name in self.global_constants:
+            value = self.global_constants[name]
+            if isinstance(value, bool):
+                return Constant(I1, 1 if value else 0)
+            if isinstance(value, int):
+                return Constant(I64, value)
+            return Constant(F64, float(value))
+        raise self._error(f"use of undefined variable {name!r}", node)
+
+    def _subscript_address(self, node: ast.Subscript) -> Value:
+        base = node.value
+        if not isinstance(base, ast.Name):
+            raise self._error("only direct array names can be subscripted", node)
+        pointer = self._compile_name(base)
+        if not isinstance(pointer.type, PointerType):
+            raise self._error(f"{base.id!r} is not a pointer and cannot be indexed", node)
+        index = self._coerce(self._compile_expression(node.slice), I64, node)
+        return self.builder.gep(pointer, index, name=f"{base.id}.elt")
+
+    def _binary_op(self, op: ast.operator, lhs: Value, rhs: Value, node: ast.AST) -> Value:
+        b = self.builder
+        # pointer arithmetic: ptr +/- int keeps the pointer type via gep
+        if isinstance(lhs.type, PointerType) and isinstance(op, (ast.Add, ast.Sub)):
+            offset = self._coerce(rhs, I64, node)
+            if isinstance(op, ast.Sub):
+                offset = b.sub(Constant(I64, 0), offset, I64)
+            return b.gep(lhs, offset)
+
+        common = self._common_type(lhs, rhs)
+        if isinstance(op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)):
+            common = I64
+        lhs = self._coerce(lhs, common, node)
+        rhs = self._coerce(rhs, common, node)
+        is_float = common.is_float
+
+        if isinstance(op, ast.Add):
+            return b.fadd(lhs, rhs, common) if is_float else b.add(lhs, rhs, common)
+        if isinstance(op, ast.Sub):
+            return b.fsub(lhs, rhs, common) if is_float else b.sub(lhs, rhs, common)
+        if isinstance(op, ast.Mult):
+            return b.fmul(lhs, rhs, common) if is_float else b.mul(lhs, rhs, common)
+        if isinstance(op, ast.Div):
+            if is_float:
+                return b.fdiv(lhs, rhs, common)
+            # true division of integers produces a double, as in C casts
+            return b.fdiv(self._coerce(lhs, F64, node), self._coerce(rhs, F64, node), F64)
+        if isinstance(op, ast.FloorDiv):
+            if is_float:
+                quotient = b.fdiv(lhs, rhs, common)
+                return b.call("floor", [quotient], F64)
+            return b.sdiv(lhs, rhs, common)
+        if isinstance(op, ast.Mod):
+            return b.frem(lhs, rhs, common) if is_float else b.srem(lhs, rhs, common)
+        if isinstance(op, ast.Pow):
+            return b.call(
+                "pow",
+                [self._coerce(lhs, F64, node), self._coerce(rhs, F64, node)],
+                F64,
+            )
+        if isinstance(op, ast.LShift):
+            return b.shl(lhs, rhs, common)
+        if isinstance(op, ast.RShift):
+            return b.ashr(lhs, rhs, common)
+        if isinstance(op, ast.BitAnd):
+            return b.and_(lhs, rhs, common)
+        if isinstance(op, ast.BitOr):
+            return b.or_(lhs, rhs, common)
+        if isinstance(op, ast.BitXor):
+            return b.xor(lhs, rhs, common)
+        raise self._error(f"unsupported binary operator {type(op).__name__}", node)
+
+    def _compile_unary(self, node: ast.UnaryOp) -> Value:
+        b = self.builder
+        # fold negated literals so loop steps like ``-1`` stay constants
+        if isinstance(node.op, ast.USub) and isinstance(node.operand, ast.Constant):
+            literal = self._compile_constant(node.operand)
+            if isinstance(literal, Constant):
+                return Constant(literal.type, -literal.value)
+        operand = self._compile_expression(node.operand)
+        if isinstance(node.op, ast.USub):
+            if operand.type.is_float:
+                return b.fneg(operand, operand.type)
+            return b.sub(Constant(operand.type, 0), operand, operand.type)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return b.xor(
+                self._coerce(self._as_bool(operand, node), I64, node),
+                Constant(I64, 1),
+                I64,
+            )
+        if isinstance(node.op, ast.Invert):
+            return b.xor(
+                self._coerce(operand, I64, node), Constant(I64, -1), I64
+            )
+        raise self._error(f"unsupported unary operator {type(node.op).__name__}", node)
+
+    def _compile_compare(self, node: ast.Compare) -> Value:
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise self._error("chained comparisons are not supported", node)
+        b = self.builder
+        lhs = self._compile_expression(node.left)
+        rhs = self._compile_expression(node.comparators[0])
+        common = self._common_type(lhs, rhs)
+        lhs = self._coerce(lhs, common, node)
+        rhs = self._coerce(rhs, common, node)
+        op_type = type(node.ops[0])
+        if common.is_float:
+            predicate = _FCMP_BY_AST.get(op_type)
+            if predicate is None:
+                raise self._error(f"unsupported comparison {op_type.__name__}", node)
+            return b.fcmp(predicate, lhs, rhs, common)
+        predicate = _ICMP_BY_AST.get(op_type)
+        if predicate is None:
+            raise self._error(f"unsupported comparison {op_type.__name__}", node)
+        return b.icmp(predicate, lhs, rhs, common)
+
+    def _compile_boolop(self, node: ast.BoolOp) -> Value:
+        b = self.builder
+        values = [
+            self._coerce(self._as_bool(self._compile_expression(v), node), I64, node)
+            for v in node.values
+        ]
+        result = values[0]
+        for value in values[1:]:
+            if isinstance(node.op, ast.And):
+                result = b.and_(result, value, I64)
+            else:
+                result = b.or_(result, value, I64)
+        return b.icmp(ICmpPredicate.NE, result, Constant(I64, 0), I64)
+
+    def _compile_call(self, node: ast.Call) -> Value:
+        if not isinstance(node.func, ast.Name):
+            raise self._error("only direct calls by name are supported", node)
+        if node.keywords:
+            raise self._error("keyword arguments are not supported", node)
+        name = node.func.id
+        b = self.builder
+        args = [self._compile_expression(arg) for arg in node.args]
+
+        # type conversions spelled as calls
+        if name == "int":
+            if len(args) != 1:
+                raise self._error("int() takes exactly one argument", node)
+            return self._coerce(args[0], I64, node)
+        if name == "float":
+            if len(args) != 1:
+                raise self._error("float() takes exactly one argument", node)
+            return self._coerce(args[0], F64, node)
+
+        if name in INTRINSICS:
+            info = INTRINSICS[name]
+            if len(args) != info.arity:
+                raise self._error(
+                    f"{name}() takes {info.arity} argument(s), got {len(args)}", node
+                )
+            if info.result_follows_argument:
+                common = args[0].type
+                if info.arity == 2:
+                    common = self._common_type(args[0], args[1])
+                    args = [self._coerce(a, common, node) for a in args]
+                return b.call(name, args, common)
+            args = [self._coerce(a, F64, node) for a in args]
+            return b.call(name, args, info.result_type)
+
+        if name in self.module:
+            callee = self.module.get_function(name)
+            if len(args) != len(callee.args):
+                raise self._error(
+                    f"{name}() takes {len(callee.args)} argument(s), got {len(args)}",
+                    node,
+                )
+            coerced = [
+                arg if isinstance(arg.type, PointerType) else self._coerce(arg, p.type, node)
+                for arg, p in zip(args, callee.args)
+            ]
+            return b.call(name, coerced, callee.return_type)
+
+        raise self._error(f"call to unknown function {name!r}", node)
+
+
+# ---------------------------------------------------------------------- #
+# public entry points
+# ---------------------------------------------------------------------- #
+def _function_ast(source_function: Callable) -> ast.FunctionDef:
+    source = textwrap.dedent(inspect.getsource(source_function))
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise KernelCompileError(
+        f"could not find a function definition in source of {source_function!r}"
+    )
+
+
+def compile_kernel(
+    source_function: Callable,
+    module: Optional[Module] = None,
+    name: Optional[str] = None,
+) -> Function:
+    """Compile one kernel function into ``module`` (created if omitted).
+
+    Returns the resulting :class:`~repro.ir.function.Function`; the module is
+    reachable through ``function.metadata["module"]``.
+    """
+    module = module if module is not None else Module(source_function.__name__)
+    tree = _function_ast(source_function)
+    kernel_name = name or tree.name
+    # Module-level int/float constants of the defining module (flag masks,
+    # fixed sizes, …) are visible inside the kernel as literals.
+    global_constants = {
+        key: value
+        for key, value in getattr(source_function, "__globals__", {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+        and not key.startswith("__")
+    }
+    function = _KernelCompiler(module, kernel_name, tree, global_constants).compile()
+    module.add_function(function)
+    function.metadata["module"] = module
+    return function
+
+
+def compile_kernels(
+    source_functions: Sequence[Callable], module_name: str = "kernels"
+) -> Module:
+    """Compile several kernels into one module (callees first).
+
+    Functions later in the sequence may call earlier ones by name.
+    """
+    module = Module(module_name)
+    for source_function in source_functions:
+        compile_kernel(source_function, module)
+    return module

@@ -1,0 +1,30 @@
+"""Diagnostics for the kernel frontend."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class KernelCompileError(Exception):
+    """Raised when a kernel uses a construct outside the supported subset.
+
+    The message always contains the kernel name and, when available, the
+    source line within the kernel body, so workload authors can find the
+    offending statement quickly.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kernel: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        location = ""
+        if kernel is not None:
+            location = f" [kernel {kernel}"
+            if line is not None:
+                location += f", line {line}"
+            location += "]"
+        super().__init__(message + location)
+        self.kernel = kernel
+        self.line = line

@@ -1,0 +1,79 @@
+"""Intrinsic functions available inside kernels.
+
+Kernels may call a small math vocabulary (``sqrt``, ``fabs`` …).  The
+compiler lowers such calls to IR ``call`` instructions; the VM evaluates
+them natively.  The table below records, per intrinsic, the number of
+arguments and whether the result follows the argument type or is forced to
+``double``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.ir.types import F64, IRType
+
+
+@dataclass(frozen=True)
+class IntrinsicInfo:
+    """Description of one intrinsic callable from kernel code."""
+
+    name: str
+    arity: int
+    result_type: IRType
+    #: Reference evaluation used by the VM.
+    evaluate: Callable[..., float]
+    #: If True the result type follows the first argument's type instead of
+    #: :attr:`result_type` (used by min/max/abs so they work on integers).
+    result_follows_argument: bool = False
+
+
+def _safe_sqrt(x: float) -> float:
+    """sqrt that saturates negative inputs to 0.0.
+
+    Fault injection routinely produces slightly negative values where the
+    original program guarantees non-negative operands; saturating keeps the
+    faulty execution alive so the acceptance check (not an exception) decides
+    the outcome, matching how the paper's native benchmarks behave (the FPU
+    returns NaN rather than aborting).
+    """
+    return math.sqrt(x) if x >= 0.0 else float("nan")
+
+
+def _safe_log(x: float) -> float:
+    return math.log(x) if x > 0.0 else float("-inf")
+
+
+def _safe_exp(x: float) -> float:
+    # Avoid OverflowError on corrupted exponents; IEEE semantics saturate.
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return float("inf")
+
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        return math.pow(x, y)
+    except (OverflowError, ValueError):
+        return float("nan")
+
+
+INTRINSICS: Dict[str, IntrinsicInfo] = {
+    "sqrt": IntrinsicInfo("sqrt", 1, F64, _safe_sqrt),
+    "fabs": IntrinsicInfo("fabs", 1, F64, abs),
+    "exp": IntrinsicInfo("exp", 1, F64, _safe_exp),
+    "log": IntrinsicInfo("log", 1, F64, _safe_log),
+    "sin": IntrinsicInfo("sin", 1, F64, math.sin),
+    "cos": IntrinsicInfo("cos", 1, F64, math.cos),
+    "floor": IntrinsicInfo("floor", 1, F64, math.floor),
+    "ceil": IntrinsicInfo("ceil", 1, F64, math.ceil),
+    "pow": IntrinsicInfo("pow", 2, F64, _safe_pow),
+    "fmin": IntrinsicInfo("fmin", 2, F64, min),
+    "fmax": IntrinsicInfo("fmax", 2, F64, max),
+    "abs": IntrinsicInfo("abs", 1, F64, abs, result_follows_argument=True),
+    "min": IntrinsicInfo("min", 2, F64, min, result_follows_argument=True),
+    "max": IntrinsicInfo("max", 2, F64, max, result_follows_argument=True),
+}

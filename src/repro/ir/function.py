@@ -1,0 +1,179 @@
+"""Functions, basic blocks and modules.
+
+A :class:`Module` is a named collection of :class:`Function` objects plus the
+set of intrinsic names the VM provides.  A :class:`Function` is a list of
+:class:`BasicBlock` objects, the first of which is the entry block.  Blocks
+hold instructions; the last instruction of every block must be a terminator
+(``br`` or ``ret``) — the verifier enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import IRType, VOID
+from repro.ir.values import Argument
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("label", "instructions", "parent")
+
+    def __init__(self, label: str, parent: Optional["Function"] = None) -> None:
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+
+    # ------------------------------------------------------------------ #
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append ``instruction`` and set its parent link."""
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The terminating instruction, or ``None`` if the block is open."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        """Blocks reachable directly from this block's terminator."""
+        term = self.terminator
+        if term is None or term.opcode is Opcode.RET:
+            return []
+        return list(term.targets)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __bool__(self) -> bool:
+        # An empty block is still a real branch target; never let ``len == 0``
+        # make a block falsy (e.g. in ``else_block or merge_block`` patterns).
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
+
+
+class Function:
+    """A single IR function.
+
+    Parameters
+    ----------
+    name:
+        Function name (unique within a module).
+    arg_types / arg_names:
+        Formal parameter types and names.
+    return_type:
+        Result type; ``VOID`` for procedures.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arg_types: Sequence[IRType],
+        arg_names: Sequence[str],
+        return_type: IRType = VOID,
+    ) -> None:
+        if len(arg_types) != len(arg_names):
+            raise ValueError("arg_types and arg_names must have the same length")
+        self.name = name
+        self.return_type = return_type
+        self.args: List[Argument] = [
+            Argument(t, n, i) for i, (t, n) in enumerate(zip(arg_types, arg_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        #: Optional metadata attached by the frontend (source file/line map).
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, label: str) -> BasicBlock:
+        """Create, register and return a new basic block."""
+        block = BasicBlock(self._unique_label(label), self)
+        self.blocks.append(block)
+        return block
+
+    def _unique_label(self, label: str) -> str:
+        existing = {b.label for b in self.blocks}
+        if label not in existing:
+            return label
+        i = 1
+        while f"{label}.{i}" in existing:
+            i += 1
+        return f"{label}.{i}"
+
+    def get_block(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(f"no block named {label!r} in function {self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def arg_by_name(self, name: str) -> Argument:
+        for arg in self.args:
+            if arg.name == name:
+                return arg
+        raise KeyError(f"function {self.name} has no argument named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Function {self.name}({len(self.args)} args), "
+            f"{len(self.blocks)} blocks, {self.instruction_count} instrs>"
+        )
+
+
+class Module:
+    """A collection of functions compiled from one or more kernels."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function name {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"module {self.name!r} has no function {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name}: {len(self.functions)} functions>"

@@ -1,0 +1,142 @@
+"""Structural verifier for IR functions and modules.
+
+The verifier catches the class of mistakes that otherwise surface as
+confusing VM errors hours into a fault-injection campaign: open basic
+blocks, branch conditions that are not ``i1``, stores through non-pointer
+operands, calls to unknown functions, and type-mismatched binary operands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    COMPARISON_OPCODES,
+    FLOAT_BINARY_OPCODES,
+    INT_BINARY_OPCODES,
+    Instruction,
+    Opcode,
+)
+from repro.ir.types import PointerType
+
+#: Intrinsic functions the VM provides out of the box.  ``call`` targets must
+#: either be one of these or another function in the module.
+INTRINSIC_NAMES: Set[str] = {
+    "sqrt",
+    "fabs",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "floor",
+    "ceil",
+    "pow",
+    "fmin",
+    "fmax",
+    "abs",
+    "min",
+    "max",
+}
+
+
+class VerificationError(Exception):
+    """Raised when a function or module fails structural verification."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def _check_instruction(
+    func: Function, instr: Instruction, errors: List[str], module: Optional[Module]
+) -> None:
+    where = f"{func.name}:{instr.parent.label if instr.parent else '?'}"
+
+    if instr.opcode is Opcode.STORE:
+        if not isinstance(instr.operands[1].type, PointerType):
+            errors.append(f"{where}: store through non-pointer operand")
+        elif instr.operands[0].type != instr.operands[1].type.pointee:
+            errors.append(
+                f"{where}: store value type {instr.operands[0].type} does not "
+                f"match pointee {instr.operands[1].type.pointee}"
+            )
+    elif instr.opcode is Opcode.LOAD:
+        if not isinstance(instr.operands[0].type, PointerType):
+            errors.append(f"{where}: load from non-pointer operand")
+    elif instr.opcode is Opcode.GEP:
+        if not isinstance(instr.operands[0].type, PointerType):
+            errors.append(f"{where}: gep base is not a pointer")
+        if not instr.operands[1].type.is_integer:
+            errors.append(f"{where}: gep index is not an integer")
+    elif instr.opcode in INT_BINARY_OPCODES:
+        lhs, rhs = instr.operands
+        if not (lhs.type.is_integer and rhs.type.is_integer):
+            errors.append(f"{where}: {instr.opcode.value} on non-integer operands")
+    elif instr.opcode in FLOAT_BINARY_OPCODES:
+        lhs, rhs = instr.operands
+        if not (lhs.type.is_float and rhs.type.is_float):
+            errors.append(f"{where}: {instr.opcode.value} on non-float operands")
+    elif instr.opcode in COMPARISON_OPCODES:
+        if instr.predicate is None:
+            errors.append(f"{where}: comparison without predicate")
+    elif instr.opcode is Opcode.BR:
+        if len(instr.targets) == 1 and instr.operands:
+            errors.append(f"{where}: unconditional branch with a condition operand")
+        if len(instr.targets) == 2:
+            if not instr.operands:
+                errors.append(f"{where}: conditional branch missing condition")
+            elif not instr.operands[0].type.is_bool:
+                errors.append(f"{where}: branch condition is not i1")
+        if not instr.targets:
+            errors.append(f"{where}: branch without targets")
+        for target in instr.targets:
+            if target not in func.blocks:
+                errors.append(f"{where}: branch target {target.label} not in function")
+    elif instr.opcode is Opcode.RET:
+        if func.return_type.is_void and instr.operands:
+            errors.append(f"{where}: ret with value in a void function")
+        if not func.return_type.is_void and not instr.operands:
+            errors.append(f"{where}: ret without value in a non-void function")
+    elif instr.opcode is Opcode.CALL:
+        if instr.callee is None:
+            errors.append(f"{where}: call without callee name")
+        elif instr.callee not in INTRINSIC_NAMES:
+            if module is None or instr.callee not in module:
+                errors.append(f"{where}: call to unknown function {instr.callee!r}")
+    elif instr.opcode is Opcode.SELECT:
+        if not instr.operands[0].type.is_bool:
+            errors.append(f"{where}: select condition is not i1")
+        if instr.operands[1].type != instr.operands[2].type:
+            errors.append(f"{where}: select arms have different types")
+
+
+def verify_function(
+    func: Function, module: Optional[Module] = None, raise_on_error: bool = True
+) -> List[str]:
+    """Verify one function; return (and optionally raise with) error strings."""
+    errors: List[str] = []
+    if not func.blocks:
+        errors.append(f"{func.name}: function has no blocks")
+    for block in func.blocks:
+        if not block.is_terminated:
+            errors.append(f"{func.name}:{block.label}: block has no terminator")
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                errors.append(
+                    f"{func.name}:{block.label}: terminator in the middle of a block"
+                )
+            _check_instruction(func, instr, errors, module)
+    if errors and raise_on_error:
+        raise VerificationError(errors)
+    return errors
+
+
+def verify_module(module: Module, raise_on_error: bool = True) -> List[str]:
+    """Verify every function in ``module``."""
+    errors: List[str] = []
+    for func in module:
+        errors.extend(verify_function(func, module, raise_on_error=False))
+    if errors and raise_on_error:
+        raise VerificationError(errors)
+    return errors

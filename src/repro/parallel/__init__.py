@@ -1,0 +1,31 @@
+"""Parallel campaign execution.
+
+The paper runs its aDVF calculations and fault-injection campaigns on a
+256-core cluster; this package provides the laptop-scale equivalent: a
+multiprocessing pool that fans out independent fault injections (or whole
+per-object aDVF analyses) across local cores with deterministic work
+splitting, so results are identical to the sequential path.
+
+Public API
+----------
+:class:`~repro.parallel.campaign.CampaignRunner`,
+:func:`~repro.parallel.campaign.run_injections_parallel`,
+:func:`~repro.parallel.campaign.analyze_objects_parallel`,
+:func:`~repro.parallel.partition.chunk_evenly`,
+:func:`~repro.parallel.partition.interleave`.
+"""
+
+from repro.parallel.campaign import (
+    CampaignRunner,
+    analyze_objects_parallel,
+    run_injections_parallel,
+)
+from repro.parallel.partition import chunk_evenly, interleave
+
+__all__ = [
+    "CampaignRunner",
+    "analyze_objects_parallel",
+    "run_injections_parallel",
+    "chunk_evenly",
+    "interleave",
+]

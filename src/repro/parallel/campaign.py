@@ -1,0 +1,154 @@
+"""Multiprocessing campaign runner for fault injections and aDVF analyses.
+
+Each worker process rebuilds the workload from its registry name and
+constructor arguments (workload objects themselves are not pickled — the
+kernels hold compiled IR with unpicklable back-references), runs its share
+of the work, and sends back plain result objects.  Work is split
+deterministically so parallel results equal sequential ones.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.acceptance import OutcomeClass
+from repro.core.advf import AnalysisConfig, ObjectReport
+from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
+from repro.parallel.partition import chunk_evenly
+from repro.vm.faults import FaultSpec
+
+
+def _default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+# --------------------------------------------------------------------- #
+# worker entry points (module-level so they are picklable)
+# --------------------------------------------------------------------- #
+def _inject_chunk(
+    workload_name: str,
+    workload_kwargs: Dict[str, object],
+    specs: List[FaultSpec],
+) -> List[Tuple[FaultSpec, str, str]]:
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(workload_name, **workload_kwargs)
+    injector = DeterministicFaultInjector(workload)
+    results = []
+    for spec in specs:
+        outcome = injector.inject(spec)
+        results.append((spec, outcome.outcome.value, outcome.detail))
+    return results
+
+
+def _analyze_object(
+    workload_name: str,
+    workload_kwargs: Dict[str, object],
+    object_name: str,
+    config: AnalysisConfig,
+) -> Tuple[str, ObjectReport]:
+    from repro.core.advf import AdvfEngine
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(workload_name, **workload_kwargs)
+    engine = AdvfEngine(workload, config)
+    return object_name, engine.analyze_object(object_name)
+
+
+# --------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------- #
+@dataclass
+class CampaignRunner:
+    """Fan out fault injections / aDVF analyses over local processes.
+
+    ``workload_name`` must be a key of :data:`repro.workloads.registry.WORKLOADS`
+    so worker processes can rebuild the workload; ``workload_kwargs`` are the
+    constructor overrides (sizes, seed, ABFT flag, …).
+    """
+
+    workload_name: str
+    workload_kwargs: Dict[str, object] = field(default_factory=dict)
+    workers: int = field(default_factory=_default_workers)
+
+    def run_injections(self, specs: Sequence[FaultSpec]) -> List[FaultInjectionResult]:
+        """Inject every spec, preserving input order in the result list."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers <= 1 or len(specs) < 4:
+            return _wrap(_inject_chunk(self.workload_name, self.workload_kwargs, specs))
+        chunks = chunk_evenly(specs, self.workers)
+        results: List[FaultInjectionResult] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(_inject_chunk, self.workload_name, self.workload_kwargs, chunk)
+                for chunk in chunks
+                if chunk
+            ]
+            for future in futures:
+                results.extend(_wrap(future.result()))
+        return results
+
+    def analyze_objects(
+        self, object_names: Sequence[str], config: Optional[AnalysisConfig] = None
+    ) -> Dict[str, ObjectReport]:
+        """One aDVF analysis per object, one worker per object."""
+        config = config or AnalysisConfig()
+        names = list(object_names)
+        if not names:
+            return {}
+        if self.workers <= 1 or len(names) == 1:
+            return dict(
+                _analyze_object(self.workload_name, self.workload_kwargs, name, config)
+                for name in names
+            )
+        out: Dict[str, ObjectReport] = {}
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(names))) as pool:
+            futures = [
+                pool.submit(
+                    _analyze_object, self.workload_name, self.workload_kwargs, name, config
+                )
+                for name in names
+            ]
+            for future in futures:
+                name, report = future.result()
+                out[name] = report
+        return out
+
+
+def _wrap(raw: List[Tuple[FaultSpec, str, str]]) -> List[FaultInjectionResult]:
+    return [
+        FaultInjectionResult(spec=spec, outcome=OutcomeClass(outcome), detail=detail)
+        for spec, outcome, detail in raw
+    ]
+
+
+def run_injections_parallel(
+    workload_name: str,
+    specs: Sequence[FaultSpec],
+    workers: Optional[int] = None,
+    **workload_kwargs,
+) -> List[FaultInjectionResult]:
+    """Convenience wrapper around :class:`CampaignRunner.run_injections`."""
+    runner = CampaignRunner(
+        workload_name, workload_kwargs, workers or _default_workers()
+    )
+    return runner.run_injections(specs)
+
+
+def analyze_objects_parallel(
+    workload_name: str,
+    object_names: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+    workers: Optional[int] = None,
+    **workload_kwargs,
+) -> Dict[str, ObjectReport]:
+    """Convenience wrapper around :class:`CampaignRunner.analyze_objects`."""
+    runner = CampaignRunner(
+        workload_name, workload_kwargs, workers or _default_workers()
+    )
+    return runner.analyze_objects(object_names, config)

@@ -1,0 +1,43 @@
+"""Deterministic work partitioning helpers for parallel campaigns."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def chunk_evenly(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Split ``items`` into ``chunks`` contiguous pieces of near-equal size.
+
+    The first ``len(items) % chunks`` pieces get one extra element, matching
+    the usual block distribution of an MPI scatter.  Empty chunks are
+    returned when there are more chunks than items so callers can map the
+    result one-to-one onto workers.
+    """
+    if chunks <= 0:
+        raise ValueError("chunks must be positive")
+    n = len(items)
+    base, extra = divmod(n, chunks)
+    out: List[List[T]] = []
+    start = 0
+    for worker in range(chunks):
+        size = base + (1 if worker < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def interleave(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Round-robin (cyclic) distribution of ``items`` into ``chunks`` pieces.
+
+    Useful when the cost of consecutive items is correlated (e.g. injections
+    at neighbouring dynamic instructions) and a block distribution would load
+    the workers unevenly.
+    """
+    if chunks <= 0:
+        raise ValueError("chunks must be positive")
+    out: List[List[T]] = [[] for _ in range(chunks)]
+    for index, item in enumerate(items):
+        out[index % chunks].append(item)
+    return out

@@ -1,0 +1,27 @@
+"""Text reporting: regenerate the paper's tables and figures as ASCII.
+
+Public API
+----------
+:func:`~repro.reporting.tables.format_table`,
+:func:`~repro.reporting.tables.table1_rows`,
+:func:`~repro.reporting.figures.stacked_bar_chart`,
+:func:`~repro.reporting.figures.advf_level_breakdown_rows`,
+:func:`~repro.reporting.figures.advf_category_breakdown_rows`.
+"""
+
+from repro.reporting.tables import format_table, table1_rows
+from repro.reporting.figures import (
+    advf_category_breakdown_rows,
+    advf_level_breakdown_rows,
+    bar_chart,
+    stacked_bar_chart,
+)
+
+__all__ = [
+    "format_table",
+    "table1_rows",
+    "advf_category_breakdown_rows",
+    "advf_level_breakdown_rows",
+    "bar_chart",
+    "stacked_bar_chart",
+]

@@ -1,0 +1,49 @@
+"""Plain-text tables (Table I and generic result tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table with a header rule.
+
+    Cells are stringified; columns are sized to their widest entry.
+    """
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Metadata rows of Table I (benchmarks, code segments, target objects)."""
+    from repro.workloads.registry import TABLE1_ROWS, get_workload
+
+    return [get_workload(name).describe() for name in TABLE1_ROWS]
+
+
+def format_table1() -> str:
+    """Table I rendered as text."""
+    rows = table1_rows()
+    return format_table(
+        ["Name", "Benchmark description", "Code segment", "Target data objects"],
+        [
+            [
+                str(row["name"]).upper(),
+                row["description"],
+                row["code_segment"],
+                ", ".join(row["target_objects"]),
+            ]
+            for row in rows
+        ],
+    )

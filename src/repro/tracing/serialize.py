@@ -1,0 +1,101 @@
+"""Trace (de)serialisation.
+
+Traces are written as JSON-lines: one event per line, types spelled with
+their canonical IR names.  The format is intentionally self-contained so a
+trace captured on one machine (or by a worker process in a parallel
+campaign) can be analysed on another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.ir.instructions import Opcode
+from repro.ir.types import IRType, parse_type
+from repro.tracing.events import OperandKind, TraceEvent
+from repro.tracing.trace import Trace
+
+
+def _type_name(ir_type: Optional[object]) -> Optional[str]:
+    if ir_type is None:
+        return None
+    assert isinstance(ir_type, IRType)
+    return ir_type.name
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Convert one event to a JSON-serialisable dict."""
+    return {
+        "id": event.dynamic_id,
+        "op": event.opcode.value,
+        "fn": event.function,
+        "bb": event.block,
+        "static": event.static_uid,
+        "line": event.source_line,
+        "ov": list(event.operand_values),
+        "ot": [_type_name(t) for t in event.operand_types],
+        "op_prod": list(event.operand_producers),
+        "op_kind": [k.value for k in event.operand_kinds],
+        "rv": event.result_value,
+        "rt": _type_name(event.result_type),
+        "pred": event.predicate,
+        "callee": event.callee,
+        "addr": event.address,
+        "obj": event.object_name,
+        "elt": event.element_index,
+        "writer": event.writer_id,
+        "taken": event.taken_label,
+    }
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`."""
+    return TraceEvent(
+        dynamic_id=data["id"],
+        opcode=Opcode(data["op"]),
+        function=data["fn"],
+        block=data["bb"],
+        static_uid=data["static"],
+        source_line=data["line"],
+        operand_values=tuple(data["ov"]),
+        operand_types=tuple(parse_type(t) if t else None for t in data["ot"]),
+        operand_producers=tuple(data["op_prod"]),
+        operand_kinds=tuple(OperandKind(k) for k in data["op_kind"]),
+        result_value=data["rv"],
+        result_type=parse_type(data["rt"]) if data["rt"] else None,
+        predicate=data["pred"],
+        callee=data["callee"],
+        address=data["addr"],
+        object_name=data["obj"],
+        element_index=data["elt"],
+        writer_id=data["writer"],
+        taken_label=data["taken"],
+    )
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Render a whole trace as JSON-lines text."""
+    return "\n".join(json.dumps(event_to_dict(e)) for e in trace.events)
+
+
+def trace_from_jsonl(text: str) -> Trace:
+    """Parse JSON-lines text back into a :class:`Trace`."""
+    trace = Trace()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        trace.append(event_from_dict(json.loads(line)))
+    return trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` as JSON-lines."""
+    Path(path).write_text(trace_to_jsonl(trace) + "\n", encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_jsonl(Path(path).read_text(encoding="utf-8"))

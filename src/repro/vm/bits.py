@@ -1,0 +1,113 @@
+"""Bit-level representation helpers.
+
+Both the VM's fault hooks and the analytic masking rules in
+:mod:`repro.core.masking` need to move between runtime values (Python
+ints/floats) and their fixed-width bit representations, and to flip single
+bits in either.  Keeping this in one module guarantees the injector and the
+model reason about exactly the same bit patterns — a mismatch here would
+silently skew every aDVF number.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.ir.types import IRType
+
+Number = Union[int, float]
+
+
+# ---------------------------------------------------------------------- #
+# integer <-> unsigned representation
+# ---------------------------------------------------------------------- #
+def to_unsigned(value: int, bits: int) -> int:
+    """Two's-complement encode ``value`` into ``bits`` bits (non-negative int)."""
+    mask = (1 << bits) - 1
+    return value & mask
+
+
+def to_signed(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    if bits > 1 and value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# float <-> raw bits
+# ---------------------------------------------------------------------- #
+def float64_to_bits(value: float) -> int:
+    """IEEE-754 binary64 representation as an unsigned integer."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def float64_from_bits(bits: int) -> float:
+    """Inverse of :func:`float64_to_bits`."""
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]
+
+
+def float32_to_bits(value: float) -> int:
+    """IEEE-754 binary32 representation as an unsigned integer."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def float32_from_bits(bits: int) -> float:
+    """Inverse of :func:`float32_to_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits & ((1 << 32) - 1)))[0]
+
+
+# ---------------------------------------------------------------------- #
+# type-directed conversions
+# ---------------------------------------------------------------------- #
+def bit_width_of(ir_type: IRType) -> int:
+    """Number of architecturally-visible bits of a value of ``ir_type``.
+
+    Pointers are 64-bit machine words; ``i1`` occupies a single bit for the
+    purpose of error-pattern enumeration (a flip of its only bit).
+    """
+    if ir_type.is_void:
+        raise TypeError("void values have no bit representation")
+    return ir_type.bits
+
+
+def value_to_bits(value: Number, ir_type: IRType) -> int:
+    """Raw bit representation of ``value`` when stored with type ``ir_type``."""
+    if ir_type.is_float:
+        if ir_type.bits == 64:
+            return float64_to_bits(float(value))
+        return float32_to_bits(float(value))
+    return to_unsigned(int(value), ir_type.bits)
+
+
+def bits_to_value(bits: int, ir_type: IRType) -> Number:
+    """Decode a raw bit pattern back into a runtime value of ``ir_type``."""
+    if ir_type.is_float:
+        if ir_type.bits == 64:
+            return float64_from_bits(bits)
+        return float32_from_bits(bits)
+    if ir_type.is_pointer:
+        return to_unsigned(bits, 64)
+    return to_signed(bits, ir_type.bits)
+
+
+def flip_bit(value: Number, bit: int, ir_type: IRType) -> Number:
+    """Return ``value`` with bit ``bit`` (0 = LSB) flipped under ``ir_type``.
+
+    Raises
+    ------
+    ValueError
+        If ``bit`` is outside the representation of ``ir_type``.
+    """
+    width = bit_width_of(ir_type)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} outside the {width}-bit representation of {ir_type}")
+    raw = value_to_bits(value, ir_type)
+    return bits_to_value(raw ^ (1 << bit), ir_type)
+
+
+def hamming_distance(a: Number, b: Number, ir_type: IRType) -> int:
+    """Number of differing bits between two values of the same type."""
+    return bin(value_to_bits(a, ir_type) ^ value_to_bits(b, ir_type)).count("1")

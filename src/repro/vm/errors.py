@@ -1,0 +1,44 @@
+"""Runtime error types raised by the virtual machine.
+
+Fault-injection campaigns rely on these being distinguishable: a
+:class:`SegmentationFault` caused by a corrupted index array is a different
+outcome class (crash) than a silently wrong numerical result, and the paper's
+evaluation of ``colidx`` in CG hinges on exactly this distinction.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all VM runtime failures."""
+
+
+class SegmentationFault(VMError):
+    """A load or store touched an address outside every data object."""
+
+    def __init__(self, address: int, note: str = "") -> None:
+        message = f"segmentation fault at address {address:#x}"
+        if note:
+            message += f" ({note})"
+        super().__init__(message)
+        self.address = address
+
+
+class StepLimitExceeded(VMError):
+    """Execution exceeded the configured dynamic-instruction budget.
+
+    Corrupted loop bounds routinely turn terminating kernels into infinite
+    loops; the budget converts those into a deterministic "hang" outcome.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"dynamic instruction limit of {limit} exceeded")
+        self.limit = limit
+
+
+class ArithmeticFault(VMError):
+    """Integer division or remainder by zero."""
+
+
+class UnknownIntrinsic(VMError):
+    """A call targeted a function that is neither an intrinsic nor in the module."""

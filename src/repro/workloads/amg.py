@@ -1,0 +1,232 @@
+"""AMG: GMRES(m) with a smoothing preconditioner and a pivoted dense solve.
+
+Target data objects ``A`` (the system matrix, double precision) and ``ipiv``
+(the integer pivot array of the small dense least-squares solve), matching
+the AMG2013 ``hypre_GMRESSolve`` code segment of Table I.  The algorithmic
+ingredients that matter for error masking are preserved: the outer GMRES
+iteration (restarted Krylov method — iterative structure gives
+algorithm-level tolerance), a relaxation-style preconditioner, and an
+``ipiv``-driven Gaussian elimination whose corruption reorders pivots and
+derails the solve (integer vulnerability).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+def precond_jacobi(A: "double*", r: "double*", z: "double*", n: "i64", sweeps: "i64") -> "void":
+    """Jacobi-relaxation preconditioner: a few sweeps of ``z ≈ A^{-1} r``."""
+    for i in range(n):
+        z[i] = r[i] / A[i * n + i]
+    for s in range(sweeps):
+        for i in range(n):
+            acc = r[i]
+            for j in range(n):
+                if j != i:
+                    acc = acc - A[i * n + j] * z[j]
+            z[i] = acc / A[i * n + i]
+
+
+def dense_lu_solve(H: "double*", g: "double*", y: "double*", ipiv: "i64*", m: "i64") -> "void":
+    """Pivoted Gaussian elimination of the (m x m) least-squares system."""
+    for i in range(m):
+        ipiv[i] = i
+    for col in range(m):
+        # partial pivoting
+        best = col
+        bestval = fabs(H[ipiv[col] * m + col])  # noqa: F821
+        for row in range(col + 1, m):
+            val = fabs(H[ipiv[row] * m + col])  # noqa: F821
+            if val > bestval:
+                best = row
+                bestval = val
+        tmp = ipiv[col]
+        ipiv[col] = ipiv[best]
+        ipiv[best] = tmp
+        # eliminate below
+        for row in range(col + 1, m):
+            factor = H[ipiv[row] * m + col] / H[ipiv[col] * m + col]
+            H[ipiv[row] * m + col] = factor
+            for k in range(col + 1, m):
+                H[ipiv[row] * m + k] = H[ipiv[row] * m + k] - factor * H[ipiv[col] * m + k]
+            g[ipiv[row]] = g[ipiv[row]] - factor * g[ipiv[col]]
+    for i in range(m - 1, -1, -1):
+        acc = g[ipiv[i]]
+        for k in range(i + 1, m):
+            acc = acc - H[ipiv[i] * m + k] * y[k]
+        y[i] = acc / H[ipiv[i] * m + i]
+
+
+def gmres_solve(
+    A: "double*",
+    b: "double*",
+    x: "double*",
+    V: "double*",
+    H: "double*",
+    Hls: "double*",
+    g: "double*",
+    y: "double*",
+    z: "double*",
+    w: "double*",
+    ipiv: "i64*",
+    n: "i64",
+    m: "i64",
+    restarts: "i64",
+) -> "double":
+    """Restarted GMRES(m) with Jacobi preconditioning; returns the residual norm."""
+    for outer in range(restarts):
+        # r0 = b - A x  (stored in w)
+        for i in range(n):
+            acc = 0.0
+            for j in range(n):
+                acc = acc + A[i * n + j] * x[j]
+            w[i] = b[i] - acc
+        beta = 0.0
+        for i in range(n):
+            beta = beta + w[i] * w[i]
+        beta = sqrt(beta)  # noqa: F821
+        if beta < 0.000000000001:
+            return beta
+        for i in range(n):
+            V[i] = w[i] / beta
+        for k in range(m + 1):
+            g[k] = 0.0
+        g[0] = beta
+        # Arnoldi process with modified Gram-Schmidt
+        for k in range(m):
+            precond_jacobi(A, V + k * n, z, n, 1)
+            for i in range(n):
+                acc = 0.0
+                for j in range(n):
+                    acc = acc + A[i * n + j] * z[j]
+                w[i] = acc
+            for row in range(k + 1):
+                acc = 0.0
+                for i in range(n):
+                    acc = acc + w[i] * V[row * n + i]
+                H[row * (m + 1) + k] = acc
+                for i in range(n):
+                    w[i] = w[i] - acc * V[row * n + i]
+            norm = 0.0
+            for i in range(n):
+                norm = norm + w[i] * w[i]
+            norm = sqrt(norm)  # noqa: F821
+            H[(k + 1) * (m + 1) + k] = norm
+            if norm > 0.000000000001:
+                for i in range(n):
+                    V[(k + 1) * n + i] = w[i] / norm
+        # solve the small least-squares problem via the normal equations
+        for row in range(m):
+            for col in range(m):
+                acc = 0.0
+                for k in range(m + 1):
+                    acc = acc + H[k * (m + 1) + row] * H[k * (m + 1) + col]
+                Hls[row * m + col] = acc
+            acc = 0.0
+            for k in range(m + 1):
+                acc = acc + H[k * (m + 1) + row] * g[k]
+            y[m + row] = acc
+        for row in range(m):
+            g[row] = y[m + row]
+        dense_lu_solve(Hls, g, y, ipiv, m)
+        # x = x + M^{-1} (V y)
+        for i in range(n):
+            acc = 0.0
+            for k in range(m):
+                acc = acc + V[k * n + i] * y[k]
+            w[i] = acc
+        precond_jacobi(A, w, z, n, 1)
+        for i in range(n):
+            x[i] = x[i] + z[i]
+    # final residual norm
+    resid = 0.0
+    for i in range(n):
+        acc = 0.0
+        for j in range(n):
+            acc = acc + A[i * n + j] * x[j]
+        diff = b[i] - acc
+        resid = resid + diff * diff
+    return sqrt(resid)  # noqa: F821
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_solution(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Direct solve used by the tests to check GMRES convergence."""
+    return np.linalg.solve(A, b)
+
+
+def build_system(n: int, rng: np.random.Generator):
+    """A well-conditioned unsymmetric system (diagonally dominant)."""
+    A = rng.standard_normal((n, n)) * 0.2
+    A += np.diag(4.0 + rng.random(n))
+    b = rng.standard_normal(n)
+    return A, b
+
+
+class AMGWorkload(Workload):
+    """AMG2013-like GMRES solve (Table I row 8)."""
+
+    name = "amg"
+    description = "GMRES(m) with relaxation preconditioner and pivoted dense solve"
+    code_segment = "the routine hypre_GMRESSolve"
+    target_objects = ("ipiv", "A")
+    output_objects = ("x",)
+    entry = "gmres_solve"
+
+    def __init__(self, n: int = 8, m: int = 3, restarts: int = 1, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        self.n = n
+        self.m = m
+        self.restarts = restarts
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(5e-3)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (precond_jacobi, dense_lu_solve, gmres_solve)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        A, b = build_system(self.n, rng)
+        n, m = self.n, self.m
+        a_obj = memory.allocate("A", F64, n * n, initial=A.ravel())
+        b_obj = memory.allocate("b", F64, n, initial=b)
+        x_obj = memory.allocate("x", F64, n)
+        v_obj = memory.allocate("V", F64, (m + 1) * n)
+        h_obj = memory.allocate("H", F64, (m + 1) * (m + 1))
+        hls_obj = memory.allocate("Hls", F64, m * m)
+        g_obj = memory.allocate("g", F64, m + 1)
+        y_obj = memory.allocate("y", F64, 2 * m)
+        z_obj = memory.allocate("z", F64, n)
+        w_obj = memory.allocate("w", F64, n)
+        ipiv_obj = memory.allocate("ipiv", I64, m)
+        return {
+            "A": a_obj,
+            "b": b_obj,
+            "x": x_obj,
+            "V": v_obj,
+            "H": h_obj,
+            "Hls": hls_obj,
+            "g": g_obj,
+            "y": y_obj,
+            "z": z_obj,
+            "w": w_obj,
+            "ipiv": ipiv_obj,
+            "n": n,
+            "m": m,
+            "restarts": self.restarts,
+        }

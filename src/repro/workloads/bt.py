@@ -1,0 +1,113 @@
+"""BT: block-tridiagonal line solves along x over a small structured grid.
+
+Target data objects ``grid_points`` (the integer array defining the input
+problem — corrupting it changes loop bounds and addressing, which is why the
+paper finds it vulnerable) and ``u`` (the 5-component double-precision state
+field).  The kernel keeps the structure of NPB BT's ``x_solve``: per (k, j)
+line and per component, build a tridiagonal system from the current state,
+eliminate forward, back-substitute, and write the result back into ``u``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernel
+# --------------------------------------------------------------------- #
+def x_solve(
+    grid_points: "i64*",
+    u: "double*",
+    lhs: "double*",
+    rhsv: "double*",
+) -> "void":
+    """Thomas-algorithm line solves along x for every (k, j, m)."""
+    nx = grid_points[0]
+    ny = grid_points[1]
+    nz = grid_points[2]
+    for k in range(nz):
+        for j in range(ny):
+            for m in range(5):
+                for i in range(nx):
+                    idx = ((k * ny + j) * nx + i) * 5 + m
+                    rhsv[i] = u[idx]
+                    lhs[i * 3 + 0] = -1.0
+                    lhs[i * 3 + 1] = 4.0 + 0.01 * fabs(u[idx])  # noqa: F821
+                    lhs[i * 3 + 2] = -1.0
+                for i in range(1, nx):
+                    fac = lhs[i * 3 + 0] / lhs[(i - 1) * 3 + 1]
+                    lhs[i * 3 + 1] = lhs[i * 3 + 1] - fac * lhs[(i - 1) * 3 + 2]
+                    rhsv[i] = rhsv[i] - fac * rhsv[i - 1]
+                rhsv[nx - 1] = rhsv[nx - 1] / lhs[(nx - 1) * 3 + 1]
+                for i in range(nx - 2, -1, -1):
+                    rhsv[i] = (rhsv[i] - lhs[i * 3 + 2] * rhsv[i + 1]) / lhs[i * 3 + 1]
+                for i in range(nx):
+                    idx = ((k * ny + j) * nx + i) * 5 + m
+                    u[idx] = rhsv[i]
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_x_solve(u: np.ndarray, nx: int, ny: int, nz: int) -> np.ndarray:
+    """NumPy mirror of :func:`x_solve` on a flat (nz*ny*nx*5,) state array."""
+    u = u.copy()
+    for k in range(nz):
+        for j in range(ny):
+            for m in range(5):
+                idx = [((k * ny + j) * nx + i) * 5 + m for i in range(nx)]
+                rhs = u[idx].astype(float)
+                a = np.full(nx, -1.0)
+                b = 4.0 + 0.01 * np.abs(u[idx])
+                c = np.full(nx, -1.0)
+                for i in range(1, nx):
+                    fac = a[i] / b[i - 1]
+                    b[i] -= fac * c[i - 1]
+                    rhs[i] -= fac * rhs[i - 1]
+                rhs[nx - 1] /= b[nx - 1]
+                for i in range(nx - 2, -1, -1):
+                    rhs[i] = (rhs[i] - c[i] * rhs[i + 1]) / b[i]
+                u[idx] = rhs
+    return u
+
+
+class BTWorkload(Workload):
+    """NPB BT (block tri-diagonal solver), x_solve code segment (Table I row 4)."""
+
+    name = "bt"
+    description = "Block tri-diagonal solver: line solves along x on a structured grid"
+    code_segment = "the routine x_solve in the main loop"
+    target_objects = ("grid_points", "u")
+    output_objects = ("u",)
+    entry = "x_solve"
+
+    def __init__(self, nx: int = 5, ny: int = 2, nz: int = 2, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        self.nx, self.ny, self.nz = nx, ny, nz
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(1e-4)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (x_solve,)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        size = self.nx * self.ny * self.nz * 5
+        u0 = rng.standard_normal(size) + 2.0
+        grid_points = memory.allocate(
+            "grid_points", I64, 3, initial=[self.nx, self.ny, self.nz]
+        )
+        u = memory.allocate("u", F64, size, initial=u0)
+        lhs = memory.allocate("lhs", F64, self.nx * 3)
+        rhsv = memory.allocate("rhsv", F64, self.nx)
+        return {"grid_points": grid_points, "u": u, "lhs": lhs, "rhsv": rhsv}

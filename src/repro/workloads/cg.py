@@ -1,0 +1,174 @@
+"""CG: conjugate gradient with irregular (CSR) memory access.
+
+Reproduces the role of NPB CG in the study: the routine ``conj_grad`` in the
+main loop, with target data objects ``r`` (double-precision residual vector,
+expected to be highly resilient) and ``colidx`` (integer column-index array
+of the sparse matrix, expected to be vulnerable because corrupted indices
+address the wrong memory or fault).  ``rowstr``, ``a``, ``p`` and ``q`` are
+also allocated as named data objects because Fig. 6 validates their ranking
+against exhaustive injection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernel (restricted Python dialect, compiled to IR)
+# --------------------------------------------------------------------- #
+def conj_grad(
+    a: "double*",
+    colidx: "i64*",
+    rowstr: "i64*",
+    x: "double*",
+    p: "double*",
+    q: "double*",
+    r: "double*",
+    b: "double*",
+    n: "i64",
+    cgitmax: "i64",
+) -> "double":
+    """One CG solve of ``A x = b`` with ``A`` in CSR form; returns ``rho``."""
+    for j in range(n):
+        x[j] = 0.0
+        r[j] = b[j]
+        p[j] = r[j]
+        q[j] = 0.0
+    rho = 0.0
+    for j in range(n):
+        rho = rho + r[j] * r[j]
+    for it in range(cgitmax):
+        for j in range(n):
+            s = 0.0
+            for k in range(rowstr[j], rowstr[j + 1]):
+                s = s + a[k] * p[colidx[k]]
+            q[j] = s
+        d = 0.0
+        for j in range(n):
+            d = d + p[j] * q[j]
+        alpha = rho / d
+        for j in range(n):
+            x[j] = x[j] + alpha * p[j]
+            r[j] = r[j] - alpha * q[j]
+        rho0 = rho
+        rho = 0.0
+        for j in range(n):
+            rho = rho + r[j] * r[j]
+        beta = rho / rho0
+        for j in range(n):
+            p[j] = r[j] + beta * p[j]
+    return rho
+
+
+# --------------------------------------------------------------------- #
+# reference implementation (NumPy), used by the test suite
+# --------------------------------------------------------------------- #
+def reference_conj_grad(
+    a: np.ndarray,
+    colidx: np.ndarray,
+    rowstr: np.ndarray,
+    b: np.ndarray,
+    cgitmax: int,
+) -> Tuple[np.ndarray, float]:
+    """NumPy mirror of :func:`conj_grad`; returns ``(x, rho)``."""
+    n = len(b)
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rho = float(r @ r)
+    for _ in range(cgitmax):
+        q = np.zeros(n)
+        for j in range(n):
+            lo, hi = rowstr[j], rowstr[j + 1]
+            q[j] = float(a[lo:hi] @ p[colidx[lo:hi]])
+        alpha = rho / float(p @ q)
+        x = x + alpha * p
+        r = r - alpha * q
+        rho0 = rho
+        rho = float(r @ r)
+        p = r + (rho / rho0) * p
+    return x, rho
+
+
+def build_sparse_spd(n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A small symmetric, diagonally-dominant CSR matrix (CG-friendly)."""
+    dense = np.zeros((n, n))
+    for i in range(n):
+        dense[i, i] = 4.0
+        if i > 0:
+            dense[i, i - 1] = -1.0
+        if i < n - 1:
+            dense[i, i + 1] = -1.0
+    # a few symmetric long-range couplings to make the access pattern irregular
+    for _ in range(n // 3):
+        i, j = rng.integers(0, n, size=2)
+        if abs(int(i) - int(j)) > 1:
+            dense[i, j] = dense[j, i] = -0.5
+    values: List[float] = []
+    columns: List[int] = []
+    rowstr = [0]
+    for i in range(n):
+        for j in range(n):
+            if dense[i, j] != 0.0:
+                values.append(float(dense[i, j]))
+                columns.append(j)
+        rowstr.append(len(values))
+    return np.asarray(values), np.asarray(columns, dtype=np.int64), np.asarray(rowstr, dtype=np.int64)
+
+
+class CGWorkload(Workload):
+    """NPB CG, class-S-like scale (Table I row 1)."""
+
+    name = "cg"
+    description = "Conjugate Gradient, irregular memory access (CSR sparse matrix)"
+    code_segment = "the routine conj_grad in the main loop"
+    target_objects = ("r", "colidx")
+    output_objects = ("x",)
+    entry = "conj_grad"
+
+    def __init__(self, n: int = 16, cgitmax: int = 3, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        self.n = n
+        self.cgitmax = cgitmax
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        # iterative solver: a small relative perturbation of the solution is
+        # still an acceptable outcome (§II-A fidelity-threshold notion).
+        return NormRelativeTolerance(1e-3)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (conj_grad,)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        values, columns, rowstr = build_sparse_spd(self.n, rng)
+        b = rng.standard_normal(self.n)
+        a_obj = memory.allocate("a", F64, len(values), initial=values)
+        colidx_obj = memory.allocate("colidx", I64, len(columns), initial=columns)
+        rowstr_obj = memory.allocate("rowstr", I64, len(rowstr), initial=rowstr)
+        x_obj = memory.allocate("x", F64, self.n)
+        p_obj = memory.allocate("p", F64, self.n)
+        q_obj = memory.allocate("q", F64, self.n)
+        r_obj = memory.allocate("r", F64, self.n)
+        b_obj = memory.allocate("b", F64, self.n, initial=b)
+        return {
+            "a": a_obj,
+            "colidx": colidx_obj,
+            "rowstr": rowstr_obj,
+            "x": x_obj,
+            "p": p_obj,
+            "q": q_obj,
+            "r": r_obj,
+            "b": b_obj,
+            "n": self.n,
+            "cgitmax": self.cgitmax,
+        }

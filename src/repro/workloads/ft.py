@@ -1,0 +1,173 @@
+"""FT: discrete Fourier transform rows with forward/evolve/inverse structure.
+
+Target data objects ``plane`` (interleaved complex data, re/im pairs) and
+``exp1`` (the pre-computed twiddle-factor table), matching NPB FT's
+``fftXYZ`` code segment.  The paper attributes the large algorithm-level
+masking of ``plane`` to the frequent transforms averaging out corruptions;
+keeping the full forward → evolve → inverse → scale pipeline preserves
+exactly that effect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+def fft1(plane: "double*", exp1: "double*", off: "i64", n: "i64", isign: "double") -> "void":
+    """In-place radix-2 complex FFT of one row of ``plane``.
+
+    ``plane`` holds interleaved (re, im) pairs; ``exp1`` holds the twiddle
+    factors (cos, sin) for k = 0 .. n/2-1; ``isign`` selects forward (+1) or
+    inverse (-1).
+    """
+    # bit-reversal permutation
+    j = 0
+    for i in range(n):
+        if i < j:
+            tr = plane[off + 2 * i]
+            ti = plane[off + 2 * i + 1]
+            plane[off + 2 * i] = plane[off + 2 * j]
+            plane[off + 2 * i + 1] = plane[off + 2 * j + 1]
+            plane[off + 2 * j] = tr
+            plane[off + 2 * j + 1] = ti
+        m = n >> 1
+        while m >= 1 and j >= m:
+            j = j - m
+            m = m >> 1
+        j = j + m
+    # butterflies
+    span = 2
+    while span <= n:
+        half = span >> 1
+        step = n // span
+        for base in range(0, n, span):
+            for k in range(half):
+                tw = k * step
+                wr = exp1[2 * tw]
+                wi = exp1[2 * tw + 1] * isign
+                ia = off + 2 * (base + k)
+                ib = off + 2 * (base + k + half)
+                br = plane[ib] * wr - plane[ib + 1] * wi
+                bi = plane[ib] * wi + plane[ib + 1] * wr
+                ar = plane[ia]
+                ai = plane[ia + 1]
+                plane[ib] = ar - br
+                plane[ib + 1] = ai - bi
+                plane[ia] = ar + br
+                plane[ia + 1] = ai + bi
+        span = span << 1
+
+
+def fftxyz(
+    plane: "double*",
+    exp1: "double*",
+    chk: "double*",
+    rows: "i64",
+    n: "i64",
+    iters: "i64",
+) -> "void":
+    """Forward FFT, spectral evolution, inverse FFT and checksum per iteration."""
+    for it in range(iters):
+        for row in range(rows):
+            fft1(plane, exp1, row * 2 * n, n, 1.0)
+        # evolve: damp each mode slightly (stands in for the exponential term)
+        for row in range(rows):
+            for k in range(n):
+                factor = 1.0 - 0.001 * (it + 1) * k / n
+                plane[row * 2 * n + 2 * k] = plane[row * 2 * n + 2 * k] * factor
+                plane[row * 2 * n + 2 * k + 1] = plane[row * 2 * n + 2 * k + 1] * factor
+        for row in range(rows):
+            fft1(plane, exp1, row * 2 * n, n, -1.0)
+        scale = 1.0 / n
+        for row in range(rows):
+            for k in range(n):
+                plane[row * 2 * n + 2 * k] = plane[row * 2 * n + 2 * k] * scale
+                plane[row * 2 * n + 2 * k + 1] = plane[row * 2 * n + 2 * k + 1] * scale
+        # checksum over a strided subset, as the NPB verification does
+        sr = 0.0
+        si = 0.0
+        for k in range(rows * n // 2):
+            idx = (5 * k) % (rows * n)
+            sr = sr + plane[2 * idx]
+            si = si + plane[2 * idx + 1]
+        chk[2 * it] = sr
+        chk[2 * it + 1] = si
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_fftxyz(plane: np.ndarray, rows: int, n: int, iters: int) -> np.ndarray:
+    """NumPy mirror of :func:`fftxyz` (returns the final complex plane)."""
+    data = plane.copy().reshape(rows, n, 2)
+    z = data[..., 0] + 1j * data[..., 1]
+    for it in range(iters):
+        z = np.fft.fft(z, axis=1)
+        k = np.arange(n)
+        z = z * (1.0 - 0.001 * (it + 1) * k / n)
+        z = np.fft.ifft(z, axis=1)
+    out = np.empty_like(data)
+    out[..., 0] = z.real
+    out[..., 1] = z.imag
+    return out.reshape(-1)
+
+
+def make_twiddles(n: int) -> np.ndarray:
+    """Twiddle factor table ``exp1``: (cos, -sin) pairs for k = 0 .. n/2-1."""
+    k = np.arange(n // 2)
+    angle = -2.0 * np.pi * k / n
+    table = np.empty(n)
+    table[0::2] = np.cos(angle)
+    table[1::2] = np.sin(angle)
+    return table
+
+
+class FTWorkload(Workload):
+    """NPB FT (discrete 3D FFT), Table I row 3."""
+
+    name = "ft"
+    description = "Discrete Fourier Transform rows with forward/evolve/inverse phases"
+    code_segment = "the routine fftXYZ in the main loop"
+    target_objects = ("exp1", "plane")
+    output_objects = ("plane", "chk")
+    entry = "fftxyz"
+
+    def __init__(self, n: int = 8, rows: int = 2, iters: int = 1, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        if n & (n - 1):
+            raise ValueError("FFT length must be a power of two")
+        self.n = n
+        self.rows = rows
+        self.iters = iters
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(1e-3)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (fft1, fftxyz)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        plane0 = rng.standard_normal(self.rows * self.n * 2)
+        plane = memory.allocate("plane", F64, self.rows * self.n * 2, initial=plane0)
+        exp1 = memory.allocate("exp1", F64, self.n, initial=make_twiddles(self.n))
+        chk = memory.allocate("chk", F64, 2 * self.iters)
+        return {
+            "plane": plane,
+            "exp1": exp1,
+            "chk": chk,
+            "rows": self.rows,
+            "n": self.n,
+            "iters": self.iters,
+        }

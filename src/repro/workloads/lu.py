@@ -1,0 +1,117 @@
+"""LU: SSOR-style sweeps plus the paper's ``l2norm`` code segment (Fig. 2).
+
+Target data objects ``u`` (solution state) and ``rsd`` (residual / right-hand
+side), plus ``sum`` — the array the paper's worked aDVF example (Eq. 2) is
+computed for.  The kernel keeps the structure of the NPB LU ``ssor`` routine
+at a 1-D, 5-component scale: a residual update, a relaxation sweep, and the
+``l2norm`` reduction over the five components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+def l2norm(v: "double*", sum: "double*", n: "i64", nelem: "i64") -> "void":
+    """The code segment of Fig. 2: component-wise L2 norms of a 5-vector field."""
+    for m in range(5):
+        sum[m] = 0.0
+    for i in range(n):
+        for m in range(5):
+            sum[m] = sum[m] + v[i * 5 + m] * v[i * 5 + m]
+    for m in range(5):
+        sum[m] = sqrt(sum[m] / nelem)  # noqa: F821 - kernel intrinsic
+
+
+def ssor(
+    u: "double*",
+    rsd: "double*",
+    frct: "double*",
+    sum: "double*",
+    n: "i64",
+    niter: "i64",
+    omega: "double",
+) -> "void":
+    """SSOR-like relaxation: residual update, relaxation sweep, norm."""
+    for it in range(niter):
+        for i in range(1, n - 1):
+            for m in range(5):
+                rsd[i * 5 + m] = frct[i * 5 + m] - (
+                    2.0 * u[i * 5 + m] - u[(i - 1) * 5 + m] - u[(i + 1) * 5 + m]
+                )
+        for i in range(1, n - 1):
+            for m in range(5):
+                u[i * 5 + m] = u[i * 5 + m] + omega * rsd[i * 5 + m]
+        l2norm(rsd, sum, n, n - 2)
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_ssor(
+    u: np.ndarray, frct: np.ndarray, niter: int, omega: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """NumPy mirror of :func:`ssor` on (n, 5)-shaped arrays."""
+    u = u.copy()
+    n = u.shape[0]
+    rsd = np.zeros_like(u)
+    sums = np.zeros(5)
+    for _ in range(niter):
+        rsd[1 : n - 1] = frct[1 : n - 1] - (
+            2.0 * u[1 : n - 1] - u[: n - 2] - u[2:]
+        )
+        u[1 : n - 1] += omega * rsd[1 : n - 1]
+        sums = np.sqrt((rsd**2).sum(axis=0) / (n - 2))
+    return u, rsd, sums
+
+
+class LUWorkload(Workload):
+    """NPB LU (Lower-Upper Gauss-Seidel solver), ssor routine (Table I row 6)."""
+
+    name = "lu"
+    description = "Lower-Upper Gauss-Seidel solver (SSOR sweeps, 5-component field)"
+    code_segment = "the routine ssor"
+    target_objects = ("u", "rsd")
+    output_objects = ("u", "sum")
+    entry = "ssor"
+
+    def __init__(self, n: int = 12, niter: int = 2, omega: float = 1.2, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        self.n = n
+        self.niter = niter
+        self.omega = omega
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(1e-3)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (l2norm, ssor)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        u0 = rng.standard_normal((self.n, 5)).ravel()
+        frct0 = rng.standard_normal((self.n, 5)).ravel() * 0.1
+        u = memory.allocate("u", F64, self.n * 5, initial=u0)
+        rsd = memory.allocate("rsd", F64, self.n * 5)
+        frct = memory.allocate("frct", F64, self.n * 5, initial=frct0)
+        sums = memory.allocate("sum", F64, 5)
+        return {
+            "u": u,
+            "rsd": rsd,
+            "frct": frct,
+            "sum": sums,
+            "n": self.n,
+            "niter": self.niter,
+            "omega": self.omega,
+        }

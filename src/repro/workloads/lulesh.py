@@ -1,0 +1,212 @@
+"""LULESH: the ``CalcMonotonicQRegionForElems`` kernel.
+
+Target data objects ``m_delv_zeta`` (zeta-direction velocity-gradient field,
+"zeta" in the paper's figures) and ``m_elemBC`` (integer boundary-condition
+flag array, "elemBC").  The coordinate arrays ``m_x``/``m_y``/``m_z`` are the
+objects used by the Fig. 6 validation and the Fig. 7 RFI comparison, so they
+are allocated as named data objects and consumed by the kernel exactly as
+the real routine consumes nodal coordinates (characteristic-length /
+volume-style combinations).
+
+The kernel keeps the behaviourally relevant structure of the original:
+
+* the monotonic limiter on ``delv`` uses neighbour values, comparisons and
+  ``min``/``max`` clamping (logic/compare masking),
+* the boundary-condition flags are tested with bitwise AND masks
+  (logic masking on an integer object),
+* the artificial-viscosity terms ``qq``/``ql`` combine coordinate-derived
+  lengths with the limited gradient (overshadowing on the double objects).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, RelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+#: Boundary-condition flag bits (subset of LULESH's ZETA_M/ZETA_P masks).
+ZETA_M_SYMM = 0x001
+ZETA_M_FREE = 0x002
+ZETA_P_SYMM = 0x004
+ZETA_P_FREE = 0x008
+
+
+# --------------------------------------------------------------------- #
+# kernel
+# --------------------------------------------------------------------- #
+def calc_monotonic_q_region(
+    m_delv_zeta: "double*",
+    m_elemBC: "i64*",
+    m_x: "double*",
+    m_y: "double*",
+    m_z: "double*",
+    m_qq: "double*",
+    m_ql: "double*",
+    numElem: "i64",
+    monoq_limiter: "double",
+    qlc_monoq: "double",
+    qqc_monoq: "double",
+) -> "void":
+    """Monotonic artificial-viscosity terms per element (1-D element chain)."""
+    for i in range(numElem):
+        bcMask = m_elemBC[i]
+        delvm = 0.0
+        delvp = 0.0
+        norm = 1.0
+        dz = m_delv_zeta[i]
+        if fabs(dz) > 0.0000000000001:  # noqa: F821
+            norm = 1.0 / dz
+        # zeta- neighbour (respect symmetric / free boundary flags)
+        if bcMask & ZETA_M_SYMM:
+            delvm = dz
+        elif bcMask & ZETA_M_FREE:
+            delvm = 0.0
+        else:
+            if i > 0:
+                delvm = m_delv_zeta[i - 1]
+            else:
+                delvm = dz
+        # zeta+ neighbour
+        if bcMask & ZETA_P_SYMM:
+            delvp = dz
+        elif bcMask & ZETA_P_FREE:
+            delvp = 0.0
+        else:
+            if i < numElem - 1:
+                delvp = m_delv_zeta[i + 1]
+            else:
+                delvp = dz
+        delvm = delvm * norm
+        delvp = delvp * norm
+        phi = 0.5 * (delvm + delvp)
+        delvm = delvm * monoq_limiter
+        delvp = delvp * monoq_limiter
+        if delvm < phi:
+            phi = delvm
+        if delvp < phi:
+            phi = delvp
+        if phi < 0.0:
+            phi = 0.0
+        if phi > monoq_limiter:
+            phi = monoq_limiter
+        # characteristic length from the nodal coordinates of the element
+        dx = m_x[i + 1] - m_x[i]
+        dy = m_y[i + 1] - m_y[i]
+        dzc = m_z[i + 1] - m_z[i]
+        vol = fabs(dx * dy * dzc) + 0.000000000001  # noqa: F821
+        delvxx = dz * vol
+        if delvxx > 0.0:
+            m_qq[i] = 0.0
+            m_ql[i] = 0.0
+        else:
+            rho = 1.0 / vol
+            qlin = -qlc_monoq * rho * delvxx * (1.0 - phi)
+            qquad = qqc_monoq * rho * delvxx * delvxx * (1.0 - phi * phi)
+            m_qq[i] = qquad
+            m_ql[i] = qlin
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_monotonic_q(
+    delv_zeta: np.ndarray,
+    elem_bc: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    monoq_limiter: float,
+    qlc: float,
+    qqc: float,
+):
+    """NumPy mirror of :func:`calc_monotonic_q_region`; returns (qq, ql)."""
+    n = len(delv_zeta)
+    qq = np.zeros(n)
+    ql = np.zeros(n)
+    for i in range(n):
+        bc = int(elem_bc[i])
+        dz = delv_zeta[i]
+        norm = 1.0 / dz if abs(dz) > 1e-13 else 1.0
+        if bc & ZETA_M_SYMM:
+            delvm = dz
+        elif bc & ZETA_M_FREE:
+            delvm = 0.0
+        else:
+            delvm = delv_zeta[i - 1] if i > 0 else dz
+        if bc & ZETA_P_SYMM:
+            delvp = dz
+        elif bc & ZETA_P_FREE:
+            delvp = 0.0
+        else:
+            delvp = delv_zeta[i + 1] if i < n - 1 else dz
+        delvm *= norm
+        delvp *= norm
+        phi = 0.5 * (delvm + delvp)
+        phi = min(phi, delvm * monoq_limiter, delvp * monoq_limiter)
+        phi = min(max(phi, 0.0), monoq_limiter)
+        dx, dy, dzc = x[i + 1] - x[i], y[i + 1] - y[i], z[i + 1] - z[i]
+        vol = abs(dx * dy * dzc) + 1e-12
+        delvxx = dz * vol
+        if delvxx > 0.0:
+            qq[i] = ql[i] = 0.0
+        else:
+            rho = 1.0 / vol
+            ql[i] = -qlc * rho * delvxx * (1.0 - phi)
+            qq[i] = qqc * rho * delvxx * delvxx * (1.0 - phi * phi)
+    return qq, ql
+
+
+class LuleshWorkload(Workload):
+    """LULESH shock-hydro proxy app, CalcMonotonicQRegionForElems (Table I row 7)."""
+
+    name = "lulesh"
+    description = "Unstructured Lagrangian explicit shock hydrodynamics (monotonic Q region)"
+    code_segment = "the routine CalcMonotonicQRegionForElems"
+    target_objects = ("m_delv_zeta", "m_elemBC")
+    output_objects = ("m_qq", "m_ql")
+    entry = "calc_monotonic_q_region"
+
+    def __init__(self, num_elem: int = 24, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        self.num_elem = num_elem
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return RelativeTolerance(rtol=1e-5, atol=1e-8)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (calc_monotonic_q_region,)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        n = self.num_elem
+        delv = -np.abs(rng.standard_normal(n)) * 0.05
+        flags = rng.choice(
+            [0, ZETA_M_SYMM, ZETA_P_SYMM, ZETA_M_FREE, ZETA_P_FREE], size=n
+        ).astype(np.int64)
+        coords = np.cumsum(0.5 + rng.random(n + 1))
+        m_delv_zeta = memory.allocate("m_delv_zeta", F64, n, initial=delv)
+        m_elem_bc = memory.allocate("m_elemBC", I64, n, initial=flags)
+        m_x = memory.allocate("m_x", F64, n + 1, initial=coords)
+        m_y = memory.allocate("m_y", F64, n + 1, initial=coords * 1.1 + 0.3)
+        m_z = memory.allocate("m_z", F64, n + 1, initial=coords * 0.9 - 0.2)
+        m_qq = memory.allocate("m_qq", F64, n)
+        m_ql = memory.allocate("m_ql", F64, n)
+        return {
+            "m_delv_zeta": m_delv_zeta,
+            "m_elemBC": m_elem_bc,
+            "m_x": m_x,
+            "m_y": m_y,
+            "m_z": m_z,
+            "m_qq": m_qq,
+            "m_ql": m_ql,
+            "numElem": n,
+            "monoq_limiter": 2.0,
+            "qlc_monoq": 0.5,
+            "qqc_monoq": 2.0,
+        }

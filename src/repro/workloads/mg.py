@@ -1,0 +1,170 @@
+"""MG: multigrid V-cycles on a hierarchy of 1-D meshes.
+
+Target data objects ``u`` (solution across all levels) and ``r`` (residual
+across all levels), matching NPB MG's ``mg3P`` routine.  The multigrid
+structure — smoothing, restriction, coarse correction, prolongation — is what
+gives ``u`` its algorithm-level error masking in the paper (iterative
+structure mitigates error magnitude), so the hierarchy is kept explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernels: smoother, residual, transfer operators, V-cycle driver
+# --------------------------------------------------------------------- #
+def mg_smooth(u: "double*", f: "double*", uoff: "i64", foff: "i64", n: "i64", h2: "double", sweeps: "i64") -> "void":
+    """Weighted-Jacobi smoothing of ``-u'' = f`` on one level."""
+    for s in range(sweeps):
+        for i in range(1, n - 1):
+            u[uoff + i] = 0.5 * (u[uoff + i - 1] + u[uoff + i + 1] + h2 * f[foff + i])
+
+
+def mg_residual(u: "double*", f: "double*", r: "double*", uoff: "i64", foff: "i64", roff: "i64", n: "i64", h2: "double") -> "void":
+    """r = f - A u on one level (second-difference operator)."""
+    r[roff] = 0.0
+    r[roff + n - 1] = 0.0
+    for i in range(1, n - 1):
+        r[roff + i] = f[foff + i] - (
+            2.0 * u[uoff + i] - u[uoff + i - 1] - u[uoff + i + 1]
+        ) / h2
+
+
+def mg_restrict(r: "double*", f: "double*", roff: "i64", foff: "i64", nc: "i64") -> "void":
+    """Full-weighting restriction of the fine residual to the coarse rhs."""
+    for i in range(1, nc - 1):
+        f[foff + i] = 0.25 * (
+            r[roff + 2 * i - 1] + 2.0 * r[roff + 2 * i] + r[roff + 2 * i + 1]
+        )
+    f[foff] = 0.0
+    f[foff + nc - 1] = 0.0
+
+
+def mg_prolong(u: "double*", uoff_c: "i64", uoff_f: "i64", nc: "i64") -> "void":
+    """Linear interpolation of the coarse correction, added onto the fine grid."""
+    for i in range(nc - 1):
+        u[uoff_f + 2 * i] = u[uoff_f + 2 * i] + u[uoff_c + i]
+        u[uoff_f + 2 * i + 1] = u[uoff_f + 2 * i + 1] + 0.5 * (
+            u[uoff_c + i] + u[uoff_c + i + 1]
+        )
+    u[uoff_f + 2 * (nc - 1)] = u[uoff_f + 2 * (nc - 1)] + u[uoff_c + nc - 1]
+
+
+def mg3p(
+    u: "double*",
+    r: "double*",
+    v: "double*",
+    f: "double*",
+    nf: "i64",
+    nc: "i64",
+    ncycles: "i64",
+) -> "void":
+    """Two-level V(2,1)-cycles for ``-u'' = v`` on the fine grid.
+
+    ``u`` and ``r`` hold both levels back to back (fine part at offset 0,
+    coarse part at offset ``nf``); ``f`` is scratch storage for the coarse
+    right-hand side.
+    """
+    h2f = 1.0
+    h2c = 4.0
+    for c in range(ncycles):
+        mg_smooth(u, v, 0, 0, nf, h2f, 2)
+        mg_residual(u, v, r, 0, 0, 0, nf, h2f)
+        mg_restrict(r, f, 0, 0, nc)
+        for i in range(nc):
+            u[nf + i] = 0.0
+        mg_smooth(u, f, nf, 0, nc, h2c, 4)
+        mg_residual(u, f, r, nf, 0, nf, nc, h2c)
+        mg_prolong(u, nf, 0, nc)
+        mg_smooth(u, v, 0, 0, nf, h2f, 1)
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_mg(v: np.ndarray, nf: int, nc: int, ncycles: int) -> np.ndarray:
+    """NumPy mirror of :func:`mg3p`; returns the fine-level solution."""
+    u = np.zeros(nf + nc)
+    r = np.zeros(nf + nc)
+    f = np.zeros(nc)
+    h2f, h2c = 1.0, 4.0
+
+    def smooth(uoff, rhs, n, h2, sweeps):
+        for _ in range(sweeps):
+            for i in range(1, n - 1):
+                u[uoff + i] = 0.5 * (u[uoff + i - 1] + u[uoff + i + 1] + h2 * rhs[i])
+
+    def residual(uoff, rhs, roff, n, h2):
+        r[roff] = 0.0
+        r[roff + n - 1] = 0.0
+        for i in range(1, n - 1):
+            r[roff + i] = rhs[i] - (2 * u[uoff + i] - u[uoff + i - 1] - u[uoff + i + 1]) / h2
+
+    for _ in range(ncycles):
+        smooth(0, v, nf, h2f, 2)
+        residual(0, v, 0, nf, h2f)
+        for i in range(1, nc - 1):
+            f[i] = 0.25 * (r[2 * i - 1] + 2 * r[2 * i] + r[2 * i + 1])
+        f[0] = f[nc - 1] = 0.0
+        u[nf : nf + nc] = 0.0
+        smooth(nf, f, nc, h2c, 4)
+        residual(nf, f, nf, nc, h2c)
+        for i in range(nc - 1):
+            u[2 * i] += u[nf + i]
+            u[2 * i + 1] += 0.5 * (u[nf + i] + u[nf + i + 1])
+        u[2 * (nc - 1)] += u[nf + nc - 1]
+        smooth(0, v, nf, h2f, 1)
+    return u[:nf]
+
+
+class MGWorkload(Workload):
+    """NPB MG (multi-grid on a sequence of meshes), Table I row 2."""
+
+    name = "mg"
+    description = "Multi-Grid V-cycles on a sequence of meshes"
+    code_segment = "the routine mg3P in the main loop"
+    target_objects = ("u", "r")
+    output_objects = ("u",)
+    entry = "mg3p"
+
+    def __init__(self, nf: int = 17, ncycles: int = 2, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        if nf % 2 == 0:
+            raise ValueError("fine grid size must be odd (2*nc - 1)")
+        self.nf = nf
+        self.nc = (nf + 1) // 2
+        self.ncycles = ncycles
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(1e-3)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (mg_smooth, mg_residual, mg_restrict, mg_prolong, mg3p)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        v0 = rng.standard_normal(self.nf)
+        v0[0] = v0[-1] = 0.0
+        u = memory.allocate("u", F64, self.nf + self.nc)
+        r = memory.allocate("r", F64, self.nf + self.nc)
+        v = memory.allocate("v", F64, self.nf, initial=v0)
+        f = memory.allocate("f", F64, self.nc)
+        return {
+            "u": u,
+            "r": r,
+            "v": v,
+            "f": f,
+            "nf": self.nf,
+            "nc": self.nc,
+            "ncycles": self.ncycles,
+        }

@@ -1,0 +1,228 @@
+"""Particle Filter (Rodinia PF) with the critical variable ``xe`` (§VI).
+
+The paper's second case study asks whether protecting ``xe`` — the vector
+holding the vector-multiplication results (the weighted position estimate
+computed every frame) — with ABFT is worthwhile.  The workload implements a
+1-object tracking particle filter: propagate particles, compute likelihood
+weights, normalise, estimate (``xe``), and resample systematically.  The
+ABFT variant recomputes each weighted-sum estimate against a checksummed
+replica and overwrites ``xe`` when they disagree, mimicking ABFT for the
+vector products.
+
+Randomness is provided through pre-generated arrays (``randu``, ``randn``) so
+the execution — and therefore every fault-injection run — is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+def pf_estimate(arrayX: "double*", weights: "double*", nparticles: "i64") -> "double":
+    """Weighted position estimate: the vector multiplication feeding ``xe``."""
+    acc = 0.0
+    for p in range(nparticles):
+        acc = acc + arrayX[p] * weights[p]
+    return acc
+
+
+def pf_estimate_abft(arrayX: "double*", weights: "double*", nparticles: "i64") -> "double":
+    """ABFT-protected estimate: duplicated checksummed dot product.
+
+    The estimate is computed twice — once directly and once through a
+    checksum-shifted replica — and the replica-corrected value is returned
+    when the two disagree (single-error correction for the vector product).
+    """
+    direct = pf_estimate(arrayX, weights, nparticles)
+    shifted = 0.0
+    wsum = 0.0
+    for p in range(nparticles):
+        shifted = shifted + (arrayX[p] + 1.0) * weights[p]
+        wsum = wsum + weights[p]
+    replica = shifted - wsum
+    diff = fabs(direct - replica)  # noqa: F821
+    if diff > 0.000001:
+        return replica
+    return direct
+
+
+def particle_filter(
+    arrayX: "double*",
+    arrayY: "double*",
+    weights: "double*",
+    cdf: "double*",
+    xe: "double*",
+    observations: "double*",
+    randn_seq: "double*",
+    randu_seq: "double*",
+    scratchX: "double*",
+    scratchY: "double*",
+    nparticles: "i64",
+    nframes: "i64",
+    use_abft: "i64",
+) -> "void":
+    """Track one object over ``nframes`` frames with ``nparticles`` particles."""
+    for p in range(nparticles):
+        weights[p] = 1.0 / nparticles
+    for frame in range(nframes):
+        # propagate with pre-generated Gaussian noise
+        for p in range(nparticles):
+            arrayX[p] = arrayX[p] + 1.0 + 5.0 * randn_seq[frame * nparticles + p]
+            arrayY[p] = arrayY[p] - 2.0 + 2.0 * randn_seq[(frame + nframes) * nparticles + p]
+        # likelihood against the observed position
+        obsx = observations[frame * 2]
+        obsy = observations[frame * 2 + 1]
+        for p in range(nparticles):
+            dx = arrayX[p] - obsx
+            dy = arrayY[p] - obsy
+            weights[p] = weights[p] * exp(-0.5 * (dx * dx + dy * dy) / 25.0)  # noqa: F821
+        # normalise
+        wsum = 0.0
+        for p in range(nparticles):
+            wsum = wsum + weights[p]
+        if wsum < 0.000000000001:
+            wsum = 0.000000000001
+        for p in range(nparticles):
+            weights[p] = weights[p] / wsum
+        # state estimate (the vector multiplications stored into xe)
+        if use_abft:
+            xe[frame * 2] = pf_estimate_abft(arrayX, weights, nparticles)
+            xe[frame * 2 + 1] = pf_estimate_abft(arrayY, weights, nparticles)
+        else:
+            xe[frame * 2] = pf_estimate(arrayX, weights, nparticles)
+            xe[frame * 2 + 1] = pf_estimate(arrayY, weights, nparticles)
+        # systematic resampling
+        acc = 0.0
+        for p in range(nparticles):
+            acc = acc + weights[p]
+            cdf[p] = acc
+        u0 = randu_seq[frame] / nparticles
+        for p in range(nparticles):
+            target = u0 + p * (1.0 / nparticles)
+            chosen = nparticles - 1
+            found = 0
+            for q in range(nparticles):
+                if found == 0 and cdf[q] >= target:
+                    chosen = q
+                    found = 1
+            scratchX[p] = arrayX[chosen]
+            scratchY[p] = arrayY[chosen]
+        for p in range(nparticles):
+            arrayX[p] = scratchX[p]
+            arrayY[p] = scratchY[p]
+            weights[p] = 1.0 / nparticles
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_particle_filter(
+    x0: np.ndarray,
+    y0: np.ndarray,
+    observations: np.ndarray,
+    randn_seq: np.ndarray,
+    randu_seq: np.ndarray,
+    nparticles: int,
+    nframes: int,
+) -> np.ndarray:
+    """NumPy mirror of :func:`particle_filter` (without ABFT); returns ``xe``."""
+    arrayX = x0.copy()
+    arrayY = y0.copy()
+    weights = np.full(nparticles, 1.0 / nparticles)
+    xe = np.zeros(2 * nframes)
+    for frame in range(nframes):
+        arrayX = arrayX + 1.0 + 5.0 * randn_seq[frame * nparticles : (frame + 1) * nparticles]
+        arrayY = arrayY - 2.0 + 2.0 * randn_seq[
+            (frame + nframes) * nparticles : (frame + nframes + 1) * nparticles
+        ]
+        obsx, obsy = observations[2 * frame], observations[2 * frame + 1]
+        weights = weights * np.exp(
+            -0.5 * ((arrayX - obsx) ** 2 + (arrayY - obsy) ** 2) / 25.0
+        )
+        wsum = max(float(weights.sum()), 1e-12)
+        weights = weights / wsum
+        xe[2 * frame] = float(arrayX @ weights)
+        xe[2 * frame + 1] = float(arrayY @ weights)
+        cdf = np.cumsum(weights)
+        u0 = randu_seq[frame] / nparticles
+        idx = np.empty(nparticles, dtype=int)
+        for p in range(nparticles):
+            target = u0 + p / nparticles
+            hits = np.nonzero(cdf >= target)[0]
+            idx[p] = hits[0] if len(hits) else nparticles - 1
+        arrayX = arrayX[idx].copy()
+        arrayY = arrayY[idx].copy()
+        weights = np.full(nparticles, 1.0 / nparticles)
+    return xe
+
+
+class ParticleFilterWorkload(Workload):
+    """Rodinia Particle Filter with the critical variable ``xe`` (§VI)."""
+
+    description = "Particle-filter object tracking (propagate, weight, estimate, resample)"
+    code_segment = "the main tracking loop (vector multiplications into xe)"
+    target_objects = ("xe",)
+    output_objects = ("xe",)
+    entry = "particle_filter"
+
+    def __init__(
+        self, nparticles: int = 16, nframes: int = 2, abft: bool = False, seed: int = 1234
+    ) -> None:
+        super().__init__(seed=seed)
+        self.nparticles = nparticles
+        self.nframes = nframes
+        self.abft = abft
+        self.name = "pf_abft" if abft else "pf"
+        if abft:
+            self.description += " with ABFT-protected estimates"
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        # a statistical estimator tolerates small perturbations of xe
+        return NormRelativeTolerance(5e-2)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (pf_estimate, pf_estimate_abft, particle_filter)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        npart, nframes = self.nparticles, self.nframes
+        x0 = rng.standard_normal(npart) * 0.5
+        y0 = rng.standard_normal(npart) * 0.5
+        # ground-truth trajectory the observations follow
+        truth = np.cumsum(
+            np.column_stack([np.full(nframes, 1.0), np.full(nframes, -2.0)]), axis=0
+        )
+        observations = (truth + rng.standard_normal((nframes, 2))).ravel()
+        randn_seq = rng.standard_normal(2 * nframes * npart)
+        randu_seq = rng.random(nframes)
+        args = {
+            "arrayX": memory.allocate("arrayX", F64, npart, initial=x0),
+            "arrayY": memory.allocate("arrayY", F64, npart, initial=y0),
+            "weights": memory.allocate("weights", F64, npart),
+            "cdf": memory.allocate("cdf", F64, npart),
+            "xe": memory.allocate("xe", F64, 2 * nframes),
+            "observations": memory.allocate(
+                "observations", F64, 2 * nframes, initial=observations
+            ),
+            "randn_seq": memory.allocate(
+                "randn_seq", F64, 2 * nframes * npart, initial=randn_seq
+            ),
+            "randu_seq": memory.allocate("randu_seq", F64, nframes, initial=randu_seq),
+            "scratchX": memory.allocate("scratchX", F64, npart),
+            "scratchY": memory.allocate("scratchY", F64, npart),
+            "nparticles": npart,
+            "nframes": nframes,
+            "use_abft": 1 if self.abft else 0,
+        }
+        return args

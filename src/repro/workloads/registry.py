@@ -1,0 +1,62 @@
+"""Registry of the workloads studied in the paper (Table I plus §VI).
+
+``WORKLOADS`` maps short names to factory callables; :func:`get_workload`
+instantiates one with optional keyword overrides (problem size, seed, ABFT
+variant).  ``TABLE1_ROWS`` lists the benchmark rows in the order of Table I
+so the reporting layer can regenerate it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.amg import AMGWorkload
+from repro.workloads.base import Workload
+from repro.workloads.bt import BTWorkload
+from repro.workloads.cg import CGWorkload
+from repro.workloads.ft import FTWorkload
+from repro.workloads.lu import LUWorkload
+from repro.workloads.lulesh import LuleshWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.mg import MGWorkload
+from repro.workloads.particle_filter import ParticleFilterWorkload
+from repro.workloads.sp import SPWorkload
+
+#: name -> factory
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "cg": CGWorkload,
+    "mg": MGWorkload,
+    "ft": FTWorkload,
+    "bt": BTWorkload,
+    "sp": SPWorkload,
+    "lu": LUWorkload,
+    "lulesh": LuleshWorkload,
+    "amg": AMGWorkload,
+    "matmul": lambda **kw: MatmulWorkload(abft=False, **kw),
+    "matmul_abft": lambda **kw: MatmulWorkload(abft=True, **kw),
+    "pf": lambda **kw: ParticleFilterWorkload(abft=False, **kw),
+    "pf_abft": lambda **kw: ParticleFilterWorkload(abft=True, **kw),
+}
+
+#: The eight benchmarks of Table I, in row order.
+TABLE1_ROWS: List[str] = ["cg", "mg", "ft", "bt", "sp", "lu", "lulesh", "amg"]
+
+
+def workload_names() -> List[str]:
+    """All registered workload names."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name.
+
+    Keyword arguments are forwarded to the workload constructor (problem
+    sizes, ``seed``, …).
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+    return factory(**kwargs)

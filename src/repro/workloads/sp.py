@@ -1,0 +1,136 @@
+"""SP: scalar penta-diagonal line solves with a reciprocal-density field.
+
+Target data objects ``grid_points`` (integer problem-definition array, as in
+BT) and ``rhoi`` (the reciprocal-density double-precision field the real SP
+pre-computes and consumes inside ``x_solve``).  The kernel performs
+penta-diagonal (5-band) forward elimination and back substitution per (k, j)
+line, with coefficients that depend on ``rhoi``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import AcceptanceCriterion, NormRelativeTolerance
+from repro.ir.types import F64, I64
+from repro.vm.memory import Memory
+from repro.workloads.base import Workload
+
+
+# --------------------------------------------------------------------- #
+# kernel
+# --------------------------------------------------------------------- #
+def sp_x_solve(
+    grid_points: "i64*",
+    rhs: "double*",
+    rhoi: "double*",
+    lhs: "double*",
+) -> "void":
+    """Penta-diagonal scalar line solves along x (forward + back sweep)."""
+    nx = grid_points[0]
+    ny = grid_points[1]
+    nz = grid_points[2]
+    for k in range(nz):
+        for j in range(ny):
+            base = (k * ny + j) * nx
+            # build the 5 bands: lhs[i*5 + d], d = 0..4 (two sub, diag, two super)
+            for i in range(nx):
+                r = rhoi[base + i]
+                lhs[i * 5 + 0] = -0.05 * r
+                lhs[i * 5 + 1] = -1.0 - 0.1 * r
+                lhs[i * 5 + 2] = 4.0 + r
+                lhs[i * 5 + 3] = -1.0 - 0.1 * r
+                lhs[i * 5 + 4] = -0.05 * r
+            # forward elimination (eliminate the two sub-diagonals)
+            for i in range(nx - 2):
+                pivot = 1.0 / lhs[i * 5 + 2]
+                f1 = lhs[(i + 1) * 5 + 1] * pivot
+                lhs[(i + 1) * 5 + 2] = lhs[(i + 1) * 5 + 2] - f1 * lhs[i * 5 + 3]
+                lhs[(i + 1) * 5 + 3] = lhs[(i + 1) * 5 + 3] - f1 * lhs[i * 5 + 4]
+                rhs[base + i + 1] = rhs[base + i + 1] - f1 * rhs[base + i]
+                f2 = lhs[(i + 2) * 5 + 0] * pivot
+                lhs[(i + 2) * 5 + 1] = lhs[(i + 2) * 5 + 1] - f2 * lhs[i * 5 + 3]
+                lhs[(i + 2) * 5 + 2] = lhs[(i + 2) * 5 + 2] - f2 * lhs[i * 5 + 4]
+                rhs[base + i + 2] = rhs[base + i + 2] - f2 * rhs[base + i]
+            # last pair
+            if nx >= 2:
+                pivot = 1.0 / lhs[(nx - 2) * 5 + 2]
+                f1 = lhs[(nx - 1) * 5 + 1] * pivot
+                lhs[(nx - 1) * 5 + 2] = lhs[(nx - 1) * 5 + 2] - f1 * lhs[(nx - 2) * 5 + 3]
+                rhs[base + nx - 1] = rhs[base + nx - 1] - f1 * rhs[base + nx - 2]
+            # back substitution
+            rhs[base + nx - 1] = rhs[base + nx - 1] / lhs[(nx - 1) * 5 + 2]
+            if nx >= 2:
+                rhs[base + nx - 2] = (
+                    rhs[base + nx - 2] - lhs[(nx - 2) * 5 + 3] * rhs[base + nx - 1]
+                ) / lhs[(nx - 2) * 5 + 2]
+            for i in range(nx - 3, -1, -1):
+                rhs[base + i] = (
+                    rhs[base + i]
+                    - lhs[i * 5 + 3] * rhs[base + i + 1]
+                    - lhs[i * 5 + 4] * rhs[base + i + 2]
+                ) / lhs[i * 5 + 2]
+
+
+# --------------------------------------------------------------------- #
+# reference implementation
+# --------------------------------------------------------------------- #
+def reference_sp_x_solve(rhs: np.ndarray, rhoi: np.ndarray, nx: int, ny: int, nz: int) -> np.ndarray:
+    """NumPy mirror of :func:`sp_x_solve` (dense solve per line)."""
+    rhs = rhs.copy()
+    for k in range(nz):
+        for j in range(ny):
+            base = (k * ny + j) * nx
+            r = rhoi[base : base + nx]
+            matrix = np.zeros((nx, nx))
+            for i in range(nx):
+                matrix[i, i] = 4.0 + r[i]
+                if i - 1 >= 0:
+                    matrix[i, i - 1] = -1.0 - 0.1 * r[i]
+                if i - 2 >= 0:
+                    matrix[i, i - 2] = -0.05 * r[i]
+                if i + 1 < nx:
+                    matrix[i, i + 1] = -1.0 - 0.1 * r[i]
+                if i + 2 < nx:
+                    matrix[i, i + 2] = -0.05 * r[i]
+            rhs[base : base + nx] = np.linalg.solve(matrix, rhs[base : base + nx])
+    return rhs
+
+
+class SPWorkload(Workload):
+    """NPB SP (scalar penta-diagonal solver), x_solve code segment (Table I row 5)."""
+
+    name = "sp"
+    description = "Scalar penta-diagonal solver: banded line solves along x"
+    code_segment = "the routine x_solve in the main loop"
+    target_objects = ("grid_points", "rhoi")
+    output_objects = ("rhs",)
+    entry = "sp_x_solve"
+
+    def __init__(self, nx: int = 6, ny: int = 2, nz: int = 2, seed: int = 1234) -> None:
+        super().__init__(seed=seed)
+        if nx < 4:
+            raise ValueError("SP needs nx >= 4 for the penta-diagonal sweeps")
+        self.nx, self.ny, self.nz = nx, ny, nz
+
+    @property
+    def acceptance(self) -> AcceptanceCriterion:
+        return NormRelativeTolerance(1e-4)
+
+    def kernels(self) -> Sequence[Callable]:
+        return (sp_x_solve,)
+
+    def setup(self, memory: Memory) -> Dict[str, object]:
+        rng = self.rng()
+        size = self.nx * self.ny * self.nz
+        rhs0 = rng.standard_normal(size)
+        rhoi0 = 1.0 / (1.0 + rng.random(size))
+        grid_points = memory.allocate(
+            "grid_points", I64, 3, initial=[self.nx, self.ny, self.nz]
+        )
+        rhs = memory.allocate("rhs", F64, size, initial=rhs0)
+        rhoi = memory.allocate("rhoi", F64, size, initial=rhoi0)
+        lhs = memory.allocate("lhs", F64, self.nx * 5)
+        return {"grid_points": grid_points, "rhs": rhs, "rhoi": rhoi, "lhs": lhs}

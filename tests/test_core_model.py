@@ -1,0 +1,415 @@
+"""Unit tests for the MOARD model pieces: acceptance, patterns, participation,
+masking, propagation and error equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acceptance import (
+    CompositeCriterion,
+    ExactMatch,
+    NormRelativeTolerance,
+    OutcomeClass,
+    RelativeTolerance,
+    ScalarResultCheck,
+    classify_outcome,
+)
+from repro.core.equivalence import EquivalenceCache
+from repro.core.masking import (
+    MaskingCategory,
+    MaskingLevel,
+    OperationMaskingAnalyzer,
+)
+from repro.core.participation import (
+    ParticipationRole,
+    find_participations,
+    is_read_modify_write,
+    participation_counts_by_role,
+)
+from repro.core.patterns import (
+    BitClass,
+    ErrorPattern,
+    MultiBitModel,
+    SingleBitModel,
+    classify_bit,
+    patterns_by_class,
+)
+from repro.core.propagation import PropagationAnalyzer
+from repro.core.reexec import ReexecStatus, reevaluate
+from repro.ir.types import F32, F64, I32, I64
+from repro.ir.instructions import Opcode
+
+
+# --------------------------------------------------------------------- #
+# acceptance
+# --------------------------------------------------------------------- #
+class TestAcceptance:
+    def _outputs(self, values):
+        return {"x": np.asarray(values, dtype=float)}
+
+    def test_exact_match(self):
+        criterion = ExactMatch()
+        golden = self._outputs([1.0, 2.0])
+        assert criterion.acceptable(golden, self._outputs([1.0, 2.0]))
+        assert not criterion.acceptable(golden, self._outputs([1.0, 2.0 + 1e-12]))
+
+    def test_identical_handles_nan(self):
+        criterion = ExactMatch()
+        golden = self._outputs([np.nan, 1.0])
+        assert criterion.identical(golden, self._outputs([np.nan, 1.0]))
+
+    def test_relative_tolerance(self):
+        criterion = RelativeTolerance(rtol=1e-3)
+        golden = self._outputs([1.0, 100.0])
+        assert criterion.acceptable(golden, self._outputs([1.0000001, 100.01]))
+        assert not criterion.acceptable(golden, self._outputs([1.5, 100.0]))
+
+    def test_relative_tolerance_rejects_nan(self):
+        criterion = RelativeTolerance()
+        assert not criterion.acceptable(self._outputs([1.0]), self._outputs([np.nan]))
+
+    def test_norm_tolerance(self):
+        criterion = NormRelativeTolerance(1e-2)
+        golden = self._outputs([1.0, 1.0, 1.0, 1.0])
+        assert criterion.acceptable(golden, self._outputs([1.001, 0.999, 1.0, 1.0]))
+        assert not criterion.acceptable(golden, self._outputs([2.0, 1.0, 1.0, 1.0]))
+        assert not criterion.acceptable(golden, self._outputs([np.inf, 1.0, 1.0, 1.0]))
+
+    def test_norm_tolerance_integer_objects_exact(self):
+        criterion = NormRelativeTolerance(1.0)
+        golden = {"i": np.array([1, 2, 3])}
+        assert criterion.acceptable(golden, {"i": np.array([1, 2, 3])})
+        assert not criterion.acceptable(golden, {"i": np.array([1, 2, 4])})
+
+    def test_composite(self):
+        criterion = CompositeCriterion([RelativeTolerance(), NormRelativeTolerance(1e-6)])
+        golden = self._outputs([1.0, 2.0])
+        assert criterion.acceptable(golden, self._outputs([1.0, 2.0]))
+        assert "AND" in criterion.describe()
+        with pytest.raises(ValueError):
+            CompositeCriterion([])
+
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            RelativeTolerance(rtol=-1.0)
+        with pytest.raises(ValueError):
+            NormRelativeTolerance(-0.5)
+
+    def test_classify_outcome_buckets(self):
+        criterion = RelativeTolerance(rtol=1e-3)
+        golden = self._outputs([1.0, 2.0])
+        assert classify_outcome(criterion, golden, golden) is OutcomeClass.IDENTICAL
+        assert (
+            classify_outcome(criterion, golden, self._outputs([1.0, 2.0005]))
+            is OutcomeClass.ACCEPTABLE
+        )
+        assert (
+            classify_outcome(criterion, golden, self._outputs([9.0, 2.0]))
+            is OutcomeClass.UNACCEPTABLE
+        )
+        assert classify_outcome(criterion, golden, {}, crashed=True) is OutcomeClass.CRASH
+        assert classify_outcome(criterion, golden, {}, hung=True) is OutcomeClass.HANG
+
+    def test_classify_outcome_return_value(self):
+        criterion = RelativeTolerance()
+        golden = self._outputs([1.0])
+        outcome = classify_outcome(
+            criterion,
+            golden,
+            golden,
+            golden_return=1.0,
+            faulty_return=250.0,
+            return_check=ScalarResultCheck(),
+        )
+        assert outcome is OutcomeClass.UNACCEPTABLE
+
+    def test_outcome_success_property(self):
+        assert OutcomeClass.IDENTICAL.is_success
+        assert OutcomeClass.ACCEPTABLE.is_success
+        assert not OutcomeClass.CRASH.is_success
+        assert not OutcomeClass.UNACCEPTABLE.is_success
+
+
+# --------------------------------------------------------------------- #
+# error patterns
+# --------------------------------------------------------------------- #
+class TestPatterns:
+    def test_single_bit_model_counts(self):
+        model = SingleBitModel()
+        assert model.pattern_count(F64) == 64
+        assert model.pattern_count(I32) == 32
+
+    def test_bit_stride(self):
+        model = SingleBitModel(bit_stride=8)
+        assert model.pattern_count(F64) == 8
+
+    def test_multibit_model(self):
+        model = MultiBitModel(separation=4)
+        patterns = model.patterns_for(I32)
+        assert all(len(p.bits) == 2 and p.bits[1] - p.bits[0] == 4 for p in patterns)
+
+    def test_invalid_models(self):
+        with pytest.raises(ValueError):
+            SingleBitModel(bit_stride=0)
+        with pytest.raises(ValueError):
+            MultiBitModel(separation=0)
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            ErrorPattern(())
+        with pytest.raises(ValueError):
+            ErrorPattern((1, 1))
+
+    def test_pattern_apply(self):
+        assert ErrorPattern((0,)).apply(0, I64) == 1
+        assert ErrorPattern((63,)).apply(1.0, F64) == -1.0
+        assert ErrorPattern((0, 1)).apply(0, I64) == 3
+        with pytest.raises(ValueError):
+            ErrorPattern((40,)).apply(1, I32)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.integers(0, 63))
+    @settings(max_examples=50)
+    def test_single_bit_apply_is_involution(self, value, bit):
+        pattern = ErrorPattern((bit,))
+        assert pattern.apply(pattern.apply(value, F64), F64) == value
+
+    def test_bit_classes_f64(self):
+        assert classify_bit(63, F64) is BitClass.SIGN
+        assert classify_bit(55, F64) is BitClass.EXPONENT
+        assert classify_bit(40, F64) is BitClass.MANTISSA_HIGH
+        assert classify_bit(3, F64) is BitClass.MANTISSA_LOW
+
+    def test_bit_classes_int(self):
+        assert classify_bit(60, I64) is BitClass.INT_HIGH
+        assert classify_bit(30, I64) is BitClass.INT_MID
+        assert classify_bit(2, I64) is BitClass.INT_LOW
+
+    def test_patterns_by_class(self):
+        pairs = patterns_by_class(SingleBitModel(), F32)
+        assert len(pairs) == 32
+        assert pairs[31][1] is BitClass.SIGN
+
+
+# --------------------------------------------------------------------- #
+# participation discovery
+# --------------------------------------------------------------------- #
+class TestParticipation:
+    def test_accumulate_participations(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        parts = find_participations(trace, "dst")
+        roles = participation_counts_by_role(parts)
+        # dst[i] = 0.0 (store), dst[i] = dst[i] + ... (store + consumed add),
+        # total = total + dst[i] (consumed add)
+        assert roles[ParticipationRole.STORE_DEST] == 10
+        assert roles[ParticipationRole.CONSUMED] == 10
+
+    def test_src_participations_are_consumed_only(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        parts = find_participations(trace, "src")
+        assert parts and all(p.role is ParticipationRole.CONSUMED for p in parts)
+        # src[i] * src[i]: the same element is referenced twice per iteration
+        assert len(parts) == 10
+
+    def test_loads_not_counted_directly(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        parts = find_participations(trace, "src")
+        assert all(trace[p.event_id].opcode is not Opcode.LOAD for p in parts)
+
+    def test_index_object_participations(self, gather_trace):
+        trace = gather_trace["trace"]
+        parts = find_participations(trace, "idx")
+        # each idx[i] value feeds exactly one gep
+        assert len(parts) == 4
+        assert all(trace[p.event_id].opcode is Opcode.GEP for p in parts)
+
+    def test_max_participations_subsampling(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        parts = find_participations(trace, "dst", max_participations=5)
+        assert len(parts) == 5
+
+    def test_read_modify_write_detection(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        stores = [
+            p for p in find_participations(trace, "dst")
+            if p.role is ParticipationRole.STORE_DEST
+        ]
+        rmw_flags = [is_read_modify_write(trace, trace[p.event_id]) for p in stores]
+        # half of the stores are `dst[i] = 0.0` (not RMW), half are accumulations
+        assert rmw_flags.count(True) == 5
+        assert rmw_flags.count(False) == 5
+
+
+# --------------------------------------------------------------------- #
+# re-execution helper
+# --------------------------------------------------------------------- #
+class TestReexec:
+    def test_reevaluate_binary(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        fmul = next(e for e in trace if e.opcode is Opcode.FMUL)
+        out = reevaluate(fmul, [2.0, 3.0])
+        assert out.status is ReexecStatus.VALUE and out.value == 6.0
+
+    def test_reevaluate_branch_divergence(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        branch = next(e for e in trace if e.is_branch and e.operand_values)
+        flipped = [1 - branch.operand_values[0]]
+        assert reevaluate(branch, flipped).status is ReexecStatus.DIVERGED
+
+    def test_reevaluate_store_address_change(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        store = next(e for e in trace if e.is_store)
+        values = list(store.operand_values)
+        values[1] = values[1] + 8
+        assert reevaluate(store, values).status is ReexecStatus.DIVERGED
+
+    def test_reevaluate_division_trap(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        add = next(e for e in trace if e.opcode is Opcode.ADD)
+        # fabricate an sdiv-like trap through eval_binary path is not possible
+        # on an add; instead check a NaN-preserving identity comparison
+        out = reevaluate(add, list(add.operand_values))
+        assert out.status is ReexecStatus.VALUE
+        assert out.value == add.result_value
+
+
+# --------------------------------------------------------------------- #
+# operation-level masking
+# --------------------------------------------------------------------- #
+class TestMasking:
+    def test_plain_store_masks(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        analyzer = OperationMaskingAnalyzer(trace)
+        parts = find_participations(trace, "dst")
+        plain_store = next(
+            p
+            for p in parts
+            if p.role is ParticipationRole.STORE_DEST
+            and not is_read_modify_write(trace, trace[p.event_id])
+        )
+        verdict = analyzer.analyze(plain_store, ErrorPattern((13,)))
+        assert verdict.masked is True
+        assert verdict.category is MaskingCategory.OVERWRITE
+        assert verdict.level is MaskingLevel.OPERATION
+
+    def test_rmw_store_does_not_mask(self, accumulate_trace):
+        trace = accumulate_trace["trace"]
+        analyzer = OperationMaskingAnalyzer(trace)
+        parts = find_participations(trace, "dst")
+        rmw_store = next(
+            p
+            for p in parts
+            if p.role is ParticipationRole.STORE_DEST
+            and is_read_modify_write(trace, trace[p.event_id])
+        )
+        verdict = analyzer.analyze(rmw_store, ErrorPattern((13,)))
+        assert verdict.masked is False
+
+    def test_gep_index_corruption_propagates(self, gather_trace):
+        trace = gather_trace["trace"]
+        analyzer = OperationMaskingAnalyzer(trace)
+        part = find_participations(trace, "idx")[0]
+        verdict = analyzer.analyze(part, ErrorPattern((1,)))
+        assert verdict.masked is None
+        assert verdict.needs_propagation or verdict.needs_injection
+
+    def test_consumed_low_bit_overshadow_candidate(self, lu_trace):
+        analyzer = OperationMaskingAnalyzer(lu_trace)
+        parts = [
+            p
+            for p in find_participations(lu_trace, "sum")
+            if p.role is ParticipationRole.CONSUMED
+            and lu_trace[p.event_id].opcode is Opcode.FADD
+        ]
+        assert parts, "sum must be consumed by an addition (statement B)"
+        verdict = analyzer.analyze(parts[0], ErrorPattern((0,)))
+        # flipping the least-significant mantissa bit of sum[m] either leaves
+        # the addition bit-identical or is an overshadowing candidate
+        assert verdict.masked is True or verdict.overshadow_candidate
+
+
+# --------------------------------------------------------------------- #
+# propagation
+# --------------------------------------------------------------------- #
+class TestPropagation:
+    def test_dead_corruption_is_masked(self, accumulate_trace):
+        """A corrupted value never used again is masked by propagation."""
+        trace = accumulate_trace["trace"]
+        analyzer = PropagationAnalyzer(trace, k=50, output_objects={"dst"})
+        parts = find_participations(trace, "src")
+        # src[i] consumed by the fmul of the LAST iteration: the product only
+        # feeds dst[i] and total, both still live, so expect not masked;
+        # use a high bit to guarantee a visible change.
+        verdict = analyzer.analyze(parts[-1], ErrorPattern((62,)))
+        assert verdict.masked in (False, None)
+
+    def test_corrupted_store_overwritten_is_masked(self):
+        """dst[i] = corrupt; dst[i] = clean  ==> propagation masks the error."""
+        from repro.frontend import compile_kernel
+        from repro.tracing import Trace
+        from repro.vm import Interpreter, Memory
+
+        f = compile_kernel(k_overwrite_chain)
+        memory = Memory()
+        src = memory.allocate("src", F64, 3, initial=[1.0, 2.0, 3.0])
+        dst = memory.allocate("dst", F64, 3)
+        trace = Trace()
+        Interpreter(f.metadata["module"], memory, trace=trace).run(
+            "k_overwrite_chain", {"src": src, "dst": dst, "n": 3}
+        )
+        analyzer = PropagationAnalyzer(trace, k=50, output_objects={"dst"})
+        parts = [
+            p
+            for p in find_participations(trace, "src")
+            if trace[p.event_id].is_store
+        ]
+        assert parts
+        verdict = analyzer.analyze(parts[0], ErrorPattern((60,)))
+        assert verdict.masked is True
+        assert verdict.category is MaskingCategory.OVERWRITE
+
+    def test_corrupted_load_address_diverges(self, gather_trace):
+        trace = gather_trace["trace"]
+        analyzer = PropagationAnalyzer(trace, k=50, output_objects={"dst"})
+        part = find_participations(trace, "idx")[0]
+        verdict = analyzer.analyze(part, ErrorPattern((1,)))
+        assert verdict.masked is None
+        assert verdict.diverged
+
+    def test_window_is_respected(self, lu_trace):
+        analyzer = PropagationAnalyzer(lu_trace, k=5, output_objects={"u", "sum"})
+        parts = [
+            p
+            for p in find_participations(lu_trace, "rsd")
+            if p.role is ParticipationRole.CONSUMED
+        ]
+        verdict = analyzer.analyze(parts[0], ErrorPattern((62,)))
+        assert verdict.steps_analyzed <= 5
+
+
+# --------------------------------------------------------------------- #
+# equivalence cache
+# --------------------------------------------------------------------- #
+class TestEquivalence:
+    def test_sampling_and_reuse(self):
+        cache = EquivalenceCache(samples_per_class=2)
+        key = (1, "consumed", 0, BitClass.MANTISSA_LOW)
+        assert cache.should_analyze(key)
+        cache.record(key, 1.0, MaskingLevel.OPERATION, MaskingCategory.OVERWRITE)
+        assert cache.should_analyze(key)
+        cache.record(key, 0.0, MaskingLevel.OPERATION, MaskingCategory.OVERWRITE)
+        assert not cache.should_analyze(key)
+        masked, level, category = cache.estimate(key)
+        assert masked == pytest.approx(0.5)
+        assert level is MaskingLevel.OPERATION
+        assert cache.analyses_performed == 2
+        assert cache.analyses_reused == 1
+        assert cache.coverage_summary()["classes"] == 1
+
+
+def k_overwrite_chain(src: "double*", dst: "double*", n: "i64") -> "void":
+    for i in range(n):
+        dst[i] = src[i]
+        dst[i] = 1.0

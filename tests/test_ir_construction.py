@@ -1,0 +1,214 @@
+"""Unit tests for IR values, builder, functions, verifier and printer."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I1,
+    I64,
+    IRBuilder,
+    Function,
+    Module,
+    Opcode,
+    VerificationError,
+    VOID,
+    print_function,
+    print_module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import ICmpPredicate, Instruction
+from repro.ir.types import pointer_to
+from repro.ir.values import Argument, Constant, UndefValue, const_bool, const_float, const_int
+
+
+class TestValues:
+    def test_constant_int_coerced(self):
+        c = Constant(I64, 3.7)
+        assert c.value == 3
+
+    def test_constant_float_coerced(self):
+        c = Constant(F64, 3)
+        assert isinstance(c.value, float)
+
+    def test_constant_requires_scalar_type(self):
+        with pytest.raises(TypeError):
+            Constant(pointer_to(F64), 0)
+
+    def test_const_helpers(self):
+        assert const_int(I64, 5).value == 5
+        assert const_float(2.5).type is F64
+        assert const_bool(True).value == 1
+
+    def test_uids_unique(self):
+        a, b = Constant(I64, 1), Constant(I64, 1)
+        assert a.uid != b.uid
+
+    def test_undef_short(self):
+        assert UndefValue(I64).short() == "undef"
+
+    def test_argument_index(self):
+        arg = Argument(F64, "x", 2)
+        assert arg.index == 2 and arg.short() == "%x"
+
+
+def build_sum_function():
+    """sum(a: double*, n: i64) -> double, built by hand with the builder."""
+    func = Function("sum", [pointer_to(F64), I64], ["a", "n"], F64)
+    entry = func.add_block("entry")
+    body = func.add_block("loop")
+    done = func.add_block("done")
+    b = IRBuilder(func)
+    b.set_block(entry)
+    acc_slot = b.alloca(F64, name="acc")
+    i_slot = b.alloca(I64, name="i")
+    b.store(0.0, acc_slot)
+    b.store(0, i_slot)
+    b.br(body)
+    b.set_block(body)
+    i = b.load(i_slot)
+    cond = b.icmp(ICmpPredicate.SLT, i, func.arg_by_name("n"), I64)
+    inner = func.add_block("inner")
+    b.cond_br(cond, inner, done)
+    b.set_block(inner)
+    ptr = b.gep(func.arg_by_name("a"), b.load(i_slot))
+    acc = b.fadd(b.load(acc_slot), b.load(ptr))
+    b.store(acc, acc_slot)
+    b.store(b.add(b.load(i_slot), 1), i_slot)
+    b.br(body)
+    b.set_block(done)
+    b.ret(b.load(acc_slot))
+    return func
+
+
+class TestBuilderAndFunction:
+    def test_build_and_verify(self):
+        func = build_sum_function()
+        assert verify_function(func) == []
+        assert func.instruction_count > 10
+
+    def test_blocks_unique_labels(self):
+        func = Function("f", [], [], VOID)
+        a = func.add_block("x")
+        b = func.add_block("x")
+        assert a.label != b.label
+
+    def test_entry_requires_blocks(self):
+        func = Function("f", [], [], VOID)
+        with pytest.raises(ValueError):
+            _ = func.entry
+
+    def test_arg_by_name_missing(self):
+        func = build_sum_function()
+        with pytest.raises(KeyError):
+            func.arg_by_name("zzz")
+
+    def test_successors(self):
+        func = build_sum_function()
+        loop = func.get_block("loop")
+        labels = {b.label for b in loop.successors()}
+        assert labels == {"inner", "done"}
+
+    def test_cannot_append_after_terminator(self):
+        func = Function("f", [], [], VOID)
+        block = func.add_block("entry")
+        b = IRBuilder(func)
+        b.set_block(block)
+        b.ret()
+        with pytest.raises(RuntimeError):
+            b.add(1, 2)
+
+    def test_store_type_check(self):
+        func = Function("f", [I64], ["x"], VOID)
+        block = func.add_block("entry")
+        b = IRBuilder(func)
+        b.set_block(block)
+        with pytest.raises(TypeError):
+            b.store(1.0, func.args[0])  # not a pointer
+
+    def test_module_registration(self):
+        module = Module("m")
+        func = build_sum_function()
+        module.add_function(func)
+        assert "sum" in module
+        assert module.get_function("sum") is func
+        with pytest.raises(ValueError):
+            module.add_function(func)
+        with pytest.raises(KeyError):
+            module.get_function("other")
+        assert len(module) == 1
+
+
+class TestVerifier:
+    def test_open_block_rejected(self):
+        func = Function("f", [], [], VOID)
+        func.add_block("entry")
+        errors = verify_function(func, raise_on_error=False)
+        assert any("terminator" in e for e in errors)
+
+    def test_branch_condition_must_be_i1(self):
+        func = Function("f", [I64], ["x"], VOID)
+        entry = func.add_block("entry")
+        other = func.add_block("other")
+        b = IRBuilder(func)
+        b.set_block(other)
+        b.ret()
+        entry.append(
+            Instruction(Opcode.BR, VOID, [func.args[0]], targets=[other, other])
+        )
+        with pytest.raises(VerificationError):
+            verify_function(func)
+
+    def test_unknown_call_rejected(self):
+        func = Function("f", [], [], VOID)
+        entry = func.add_block("entry")
+        b = IRBuilder(func)
+        b.set_block(entry)
+        b.call("not_a_real_function", [], F64)
+        b.ret()
+        errors = verify_function(func, raise_on_error=False)
+        assert any("unknown function" in e for e in errors)
+
+    def test_intrinsic_call_allowed(self):
+        func = Function("f", [F64], ["x"], F64)
+        entry = func.add_block("entry")
+        b = IRBuilder(func)
+        b.set_block(entry)
+        result = b.call("sqrt", [func.args[0]], F64)
+        b.ret(result)
+        assert verify_function(func) == []
+
+    def test_ret_value_in_void_function(self):
+        func = Function("f", [F64], ["x"], VOID)
+        entry = func.add_block("entry")
+        b = IRBuilder(func)
+        b.set_block(entry)
+        b.ret(func.args[0])
+        errors = verify_function(func, raise_on_error=False)
+        assert any("void" in e for e in errors)
+
+    def test_verify_module_aggregates(self):
+        module = Module("m")
+        good = build_sum_function()
+        module.add_function(good)
+        bad = Function("bad", [], [], VOID)
+        bad.add_block("entry")
+        module.add_function(bad)
+        errors = verify_module(module, raise_on_error=False)
+        assert errors and all("bad" in e for e in errors)
+
+
+class TestPrinter:
+    def test_print_function_contains_structure(self):
+        text = print_function(build_sum_function())
+        assert "define double @sum" in text
+        assert "icmp slt" in text
+        assert "getelementptr" in text
+        assert text.strip().endswith("}")
+
+    def test_print_module(self):
+        module = Module("demo")
+        module.add_function(build_sum_function())
+        text = print_module(module)
+        assert text.startswith("; module demo")
+        assert "@sum" in text

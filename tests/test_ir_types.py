@@ -1,0 +1,107 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PointerType,
+    VOID,
+    parse_type,
+    pointer_to,
+)
+
+
+class TestScalarTypes:
+    def test_integer_classification(self):
+        for t in (I1, I8, I16, I32, I64):
+            assert t.is_integer and not t.is_float and not t.is_pointer
+
+    def test_float_classification(self):
+        for t in (F32, F64):
+            assert t.is_float and not t.is_integer
+
+    def test_void(self):
+        assert VOID.is_void
+        assert VOID.size_bytes == 0
+
+    def test_bool_detection(self):
+        assert I1.is_bool
+        assert not I64.is_bool
+
+    @pytest.mark.parametrize(
+        "t,size", [(I1, 1), (I8, 1), (I16, 2), (I32, 4), (I64, 8), (F32, 4), (F64, 8)]
+    )
+    def test_size_bytes(self, t, size):
+        assert t.size_bytes == size
+
+    def test_signed_range_i8(self):
+        assert I8.signed_min == -128
+        assert I8.signed_max == 127
+        assert I8.unsigned_max == 255
+
+    def test_signed_range_i64(self):
+        assert I64.signed_min == -(2**63)
+        assert I64.signed_max == 2**63 - 1
+
+    def test_float_has_no_integer_range(self):
+        with pytest.raises(TypeError):
+            _ = F64.signed_min
+
+
+class TestPointerTypes:
+    def test_pointer_is_cached(self):
+        assert pointer_to(F64) is pointer_to(F64)
+        assert pointer_to(F64) is not pointer_to(I64)
+
+    def test_pointer_properties(self):
+        p = pointer_to(F64)
+        assert isinstance(p, PointerType)
+        assert p.is_pointer
+        assert p.bits == 64
+        assert p.element_size == 8
+        assert p.pointee is F64
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(TypeError):
+            pointer_to(VOID)
+
+    def test_pointer_name(self):
+        assert pointer_to(I32).name == "i32*"
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "spelling,expected",
+        [
+            ("i1", I1),
+            ("i8", I8),
+            ("i16", I16),
+            ("i32", I32),
+            ("i64", I64),
+            ("float", F32),
+            ("double", F64),
+            ("void", VOID),
+        ],
+    )
+    def test_scalars(self, spelling, expected):
+        assert parse_type(spelling) is expected
+
+    def test_pointers(self):
+        assert parse_type("double*") is pointer_to(F64)
+        assert parse_type("i64*") is pointer_to(I64)
+
+    def test_nested_pointer(self):
+        assert parse_type("double**").pointee is pointer_to(F64)
+
+    def test_whitespace_tolerated(self):
+        assert parse_type("  i64 ") is I64
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("quadword")

@@ -1,0 +1,138 @@
+"""Tests for the parallel campaign runner and the text reporting layer."""
+
+import pytest
+
+from repro.core.advf import AdvfResult, AnalysisConfig
+from repro.core.masking import MaskingCategory, MaskingLevel
+from repro.core.patterns import SingleBitModel
+from repro.core.sites import enumerate_fault_sites
+from repro.parallel import CampaignRunner, chunk_evenly, interleave
+from repro.reporting import (
+    advf_category_breakdown_rows,
+    advf_level_breakdown_rows,
+    bar_chart,
+    stacked_bar_chart,
+    format_table,
+    table1_rows,
+)
+from repro.reporting.tables import format_table1
+
+
+class TestPartitioning:
+    def test_chunk_evenly(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_chunk_more_workers_than_items(self):
+        chunks = chunk_evenly([1, 2], 4)
+        assert [len(c) for c in chunks] == [1, 1, 0, 0]
+
+    def test_interleave(self):
+        chunks = interleave(list(range(7)), 3)
+        assert chunks == [[0, 3, 6], [1, 4], [2, 5]]
+
+    @pytest.mark.parametrize("fn", [chunk_evenly, interleave])
+    def test_invalid_chunks(self, fn):
+        with pytest.raises(ValueError):
+            fn([1], 0)
+
+
+class TestCampaignRunner:
+    def test_sequential_injections(self, lulesh_workload):
+        trace = lulesh_workload.traced_run().trace
+        sites = enumerate_fault_sites(trace, "m_elemBC", bit_stride=32)[:6]
+        runner = CampaignRunner("lulesh", {"num_elem": 10}, workers=1)
+        results = runner.run_injections([s.to_spec() for s in sites])
+        assert len(results) == 6
+        assert all(r.outcome is not None for r in results)
+
+    def test_parallel_matches_sequential(self, lulesh_workload):
+        trace = lulesh_workload.traced_run().trace
+        sites = enumerate_fault_sites(trace, "m_delv_zeta", bit_stride=16)[:8]
+        specs = [s.to_spec() for s in sites]
+        sequential = CampaignRunner("lulesh", {"num_elem": 10}, workers=1).run_injections(specs)
+        parallel = CampaignRunner("lulesh", {"num_elem": 10}, workers=2).run_injections(specs)
+        assert [r.outcome for r in sequential] == [r.outcome for r in parallel]
+
+    def test_analyze_objects(self):
+        config = AnalysisConfig(
+            max_injections=5,
+            equivalence_samples=1,
+            injection_samples_per_class=1,
+            error_model=SingleBitModel(bit_stride=16),
+        )
+        runner = CampaignRunner("lulesh", {"num_elem": 8}, workers=1)
+        reports = runner.analyze_objects(["m_elemBC"], config)
+        assert set(reports) == {"m_elemBC"}
+        assert 0.0 <= reports["m_elemBC"].result.value <= 1.0
+
+    def test_empty_inputs(self):
+        runner = CampaignRunner("lulesh", {}, workers=1)
+        assert runner.run_injections([]) == []
+        assert runner.analyze_objects([]) == {}
+
+
+class TestReporting:
+    def _results(self):
+        return {
+            "r": AdvfResult(
+                object_name="r",
+                value=0.9,
+                participations=100,
+                masked_events=90.0,
+                by_level={MaskingLevel.OPERATION: 70.0, MaskingLevel.ALGORITHM: 20.0},
+                by_category={
+                    MaskingCategory.OVERWRITE: 40.0,
+                    MaskingCategory.OVERSHADOW: 30.0,
+                },
+            ),
+            "colidx": AdvfResult(
+                object_name="colidx",
+                value=0.2,
+                participations=50,
+                masked_events=10.0,
+                by_level={MaskingLevel.ALGORITHM: 10.0},
+                by_category={},
+            ),
+        }
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, "xy"], [22, "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_table_shape_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_table1_contains_all_benchmarks(self):
+        rows = table1_rows()
+        names = {row["name"] for row in rows}
+        assert names == {"cg", "mg", "ft", "bt", "sp", "lu", "lulesh", "amg"}
+        rendered = format_table1()
+        assert "CG" in rendered and "colidx" in rendered
+
+    def test_bar_chart(self):
+        chart = bar_chart({"r": 0.9, "colidx": 0.2})
+        assert "r" in chart and "0.900" in chart
+
+    def test_stacked_chart_and_breakdowns(self):
+        results = self._results()
+        level_rows = advf_level_breakdown_rows(results)
+        category_rows = advf_category_breakdown_rows(results)
+        assert len(level_rows) == len(category_rows) == 2
+        level_chart = stacked_bar_chart(level_rows)
+        assert "0.900" in level_chart
+        # level fractions of r sum to its aDVF
+        total = sum(level_rows[0][1].values())
+        assert total == pytest.approx(0.9)
+
+    def test_level_and_category_fractions(self):
+        result = self._results()["r"]
+        assert result.level_fraction(MaskingLevel.OPERATION) == pytest.approx(0.7)
+        assert result.category_fraction(MaskingCategory.OVERWRITE) == pytest.approx(0.4)
+        empty = AdvfResult("x", 0.0, 0, 0.0)
+        assert empty.level_fraction(MaskingLevel.OPERATION) == 0.0
+        assert empty.category_fraction(MaskingCategory.OVERWRITE) == 0.0

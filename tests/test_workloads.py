@@ -1,0 +1,258 @@
+"""Workload tests: every Table I benchmark runs, matches its NumPy reference
+where one exists, and is deterministic across instances."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import TABLE1_ROWS, WORKLOADS, get_workload, workload_names
+
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(TABLE1_ROWS) <= set(workload_names())
+        assert "matmul_abft" in workload_names()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        wl = get_workload("cg", n=10, cgitmax=1)
+        assert wl.n == 10 and wl.cgitmax == 1
+
+    def test_describe_rows(self):
+        for name in TABLE1_ROWS:
+            row = get_workload(name).describe()
+            assert row["name"] == name
+            assert row["target_objects"], f"{name} must declare target objects"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_runs_and_produces_outputs(self, name):
+        workload = get_workload(name)
+        outcome = workload.golden_run()
+        assert outcome.steps > 0
+        for output in workload.output_objects:
+            assert output in outcome.outputs
+            values = outcome.outputs[output]
+            assert np.all(np.isfinite(values.astype(float)))
+
+    def test_target_objects_exist_and_participate(self, name):
+        workload = get_workload(name)
+        trace = workload.traced_run().trace
+        from repro.core.participation import find_participations
+
+        for target in workload.target_objects:
+            assert find_participations(trace, target), (
+                f"{name}: target object {target} never participates in the trace"
+            )
+
+    def test_deterministic_across_instances(self, name):
+        workload = get_workload(name)
+        first = workload.golden_run()
+        second = workload.golden_run()
+        for key in first.outputs:
+            assert np.array_equal(first.outputs[key], second.outputs[key])
+
+    def test_acceptance_accepts_golden(self, name):
+        workload = get_workload(name)
+        outcome = workload.golden_run()
+        assert workload.acceptance.acceptable(outcome.outputs, outcome.outputs)
+
+
+class TestReferenceImplementations:
+    def test_cg_matches_reference(self):
+        from repro.workloads.cg import CGWorkload, build_sparse_spd, reference_conj_grad
+
+        workload = CGWorkload(n=12, cgitmax=2)
+        outcome = workload.golden_run()
+        values, columns, rowstr = build_sparse_spd(12, workload.rng())
+        b = workload.rng().standard_normal(12)
+        # reuse the workload's own setup for exact input agreement
+        instance = workload.fresh_instance()
+        a = instance.memory.object("a").values()
+        colidx = instance.memory.object("colidx").values()
+        rowstr = instance.memory.object("rowstr").values()
+        b = instance.memory.object("b").values()
+        x_ref, _ = reference_conj_grad(a, colidx.astype(int), rowstr.astype(int), b, 2)
+        assert np.allclose(outcome.outputs["x"], x_ref, rtol=1e-9, atol=1e-12)
+
+    def test_cg_converges(self):
+        from repro.workloads.cg import CGWorkload
+
+        workload = CGWorkload(n=12, cgitmax=8)
+        instance = workload.fresh_instance()
+        result = instance.run()
+        assert result.return_value < 1e-6  # rho after 8 iterations
+
+    def test_lu_matches_reference(self):
+        from repro.workloads.lu import LUWorkload, reference_ssor
+
+        workload = LUWorkload(n=10, niter=2)
+        instance = workload.fresh_instance()
+        u0 = instance.memory.object("u").values().reshape(10, 5)
+        frct = instance.memory.object("frct").values().reshape(10, 5)
+        outcome = instance.run()
+        u_ref, _, sums_ref = reference_ssor(u0, frct, 2, workload.omega)
+        assert np.allclose(outcome.outputs["u"].reshape(10, 5), u_ref)
+        assert np.allclose(outcome.outputs["sum"], sums_ref)
+
+    def test_mg_matches_reference_and_reduces_error(self):
+        from repro.workloads.mg import MGWorkload, reference_mg
+
+        workload = MGWorkload(nf=17, ncycles=2)
+        instance = workload.fresh_instance()
+        v = instance.memory.object("v").values()
+        outcome = instance.run()
+        expected = reference_mg(v, workload.nf, workload.nc, workload.ncycles)
+        assert np.allclose(outcome.outputs["u"][: workload.nf], expected)
+
+    def test_ft_matches_numpy_fft(self):
+        from repro.workloads.ft import FTWorkload, reference_fftxyz
+
+        workload = FTWorkload(n=8, rows=2, iters=1)
+        instance = workload.fresh_instance()
+        plane0 = instance.memory.object("plane").values()
+        outcome = instance.run()
+        expected = reference_fftxyz(plane0, 2, 8, 1)
+        assert np.allclose(outcome.outputs["plane"], expected, atol=1e-9)
+
+    def test_bt_matches_reference(self):
+        from repro.workloads.bt import BTWorkload, reference_x_solve
+
+        workload = BTWorkload(nx=5, ny=2, nz=2)
+        instance = workload.fresh_instance()
+        u0 = instance.memory.object("u").values()
+        outcome = instance.run()
+        expected = reference_x_solve(u0, 5, 2, 2)
+        assert np.allclose(outcome.outputs["u"], expected)
+
+    def test_sp_matches_dense_solve(self):
+        from repro.workloads.sp import SPWorkload, reference_sp_x_solve
+
+        workload = SPWorkload(nx=6, ny=2, nz=2)
+        instance = workload.fresh_instance()
+        rhs0 = instance.memory.object("rhs").values()
+        rhoi = instance.memory.object("rhoi").values()
+        outcome = instance.run()
+        expected = reference_sp_x_solve(rhs0, rhoi, 6, 2, 2)
+        assert np.allclose(outcome.outputs["rhs"], expected, rtol=1e-8)
+
+    def test_lulesh_matches_reference(self):
+        from repro.workloads.lulesh import LuleshWorkload, reference_monotonic_q
+
+        workload = LuleshWorkload(num_elem=12)
+        instance = workload.fresh_instance()
+        memory = instance.memory
+        outcome = instance.run()
+        qq_ref, ql_ref = reference_monotonic_q(
+            memory.object("m_delv_zeta").values(),
+            memory.object("m_elemBC").values(),
+            memory.object("m_x").values(),
+            memory.object("m_y").values(),
+            memory.object("m_z").values(),
+            2.0,
+            0.5,
+            2.0,
+        )
+        assert np.allclose(outcome.outputs["m_qq"], qq_ref)
+        assert np.allclose(outcome.outputs["m_ql"], ql_ref)
+
+    def test_amg_converges_to_direct_solution(self):
+        from repro.workloads.amg import AMGWorkload, reference_solution
+
+        workload = AMGWorkload(n=8, m=4, restarts=3)
+        instance = workload.fresh_instance()
+        A = instance.memory.object("A").values().reshape(8, 8)
+        b = instance.memory.object("b").values()
+        outcome = instance.run()
+        expected = reference_solution(A, b)
+        rel = np.linalg.norm(outcome.outputs["x"] - expected) / np.linalg.norm(expected)
+        assert rel < 1e-2
+        assert outcome.return_value < 0.1 * np.linalg.norm(b)
+
+    def test_matmul_matches_numpy(self):
+        from repro.workloads.matmul import MatmulWorkload, reference_matmul
+
+        workload = MatmulWorkload(n=5)
+        instance = workload.fresh_instance()
+        A = instance.memory.object("A").values().reshape(5, 5)
+        B = instance.memory.object("B").values().reshape(5, 5)
+        outcome = instance.run()
+        assert np.allclose(outcome.outputs["C"].reshape(5, 5), reference_matmul(A, B))
+
+    def test_matmul_abft_matches_plain(self):
+        from repro.workloads.matmul import MatmulWorkload
+
+        plain = MatmulWorkload(n=5).golden_run().outputs["C"]
+        abft = MatmulWorkload(n=5, abft=True).golden_run().outputs["C"]
+        assert np.allclose(plain, abft)
+
+    def test_particle_filter_matches_reference(self):
+        from repro.workloads.particle_filter import (
+            ParticleFilterWorkload,
+            reference_particle_filter,
+        )
+
+        workload = ParticleFilterWorkload(nparticles=12, nframes=2)
+        instance = workload.fresh_instance()
+        memory = instance.memory
+        xe_ref = reference_particle_filter(
+            memory.object("arrayX").values(),
+            memory.object("arrayY").values(),
+            memory.object("observations").values(),
+            memory.object("randn_seq").values(),
+            memory.object("randu_seq").values(),
+            12,
+            2,
+        )
+        outcome = instance.run()
+        assert np.allclose(outcome.outputs["xe"], xe_ref, rtol=1e-9)
+
+    def test_particle_filter_abft_matches_plain(self):
+        from repro.workloads.particle_filter import ParticleFilterWorkload
+
+        plain = ParticleFilterWorkload(nparticles=12, nframes=2).golden_run()
+        abft = ParticleFilterWorkload(nparticles=12, nframes=2, abft=True).golden_run()
+        assert np.allclose(plain.outputs["xe"], abft.outputs["xe"], rtol=1e-9)
+
+
+class TestAbftChecksums:
+    def test_encode_verify_correct(self):
+        from repro.abft import (
+            correct_single_error,
+            encode_column_checksums,
+            encode_row_checksums,
+            locate_single_error,
+            verify_product,
+        )
+
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((6, 6)), rng.standard_normal((6, 6))
+        c = a @ b
+        rows = encode_row_checksums(a, b)
+        cols = encode_column_checksums(a, b)
+        assert verify_product(c, rows, cols)
+        corrupted = c.copy()
+        corrupted[2, 4] += 3.5
+        assert not verify_product(corrupted, rows, cols)
+        location = locate_single_error(corrupted, rows, cols)
+        assert location is not None and location[:2] == (2, 4)
+        assert location[2] == pytest.approx(3.5)
+        fixed, applied = correct_single_error(corrupted, rows, cols)
+        assert applied and np.allclose(fixed, c)
+
+    def test_no_correction_when_clean(self):
+        from repro.abft import correct_single_error, encode_column_checksums, encode_row_checksums
+
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((4, 4)), rng.standard_normal((4, 4))
+        c = a @ b
+        fixed, applied = correct_single_error(
+            c, encode_row_checksums(a, b), encode_column_checksums(a, b)
+        )
+        assert not applied and fixed is c
