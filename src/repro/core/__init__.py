@@ -16,6 +16,8 @@ Public API
 * :mod:`repro.core.propagation` — bounded error-propagation analysis.
 * :mod:`repro.core.injector` / :mod:`repro.core.exhaustive` /
   :mod:`repro.core.rfi` — the three fault-injection modes.
+* :mod:`repro.core.replay` — checkpointed replay shared by the injectors
+  (golden run + snapshot schedule, suffix-only faulty executions).
 * :mod:`repro.core.acceptance` — outcome acceptance criteria.
 """
 
@@ -36,6 +38,7 @@ from repro.core.masking import (
     OperationMaskingAnalyzer,
 )
 from repro.core.propagation import PropagationAnalyzer, PropagationResult
+from repro.core.replay import ReplayContext
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.core.exhaustive import ExhaustiveCampaign, ExhaustiveResult
 from repro.core.rfi import RandomFaultInjection, RFIResult, required_sample_size
@@ -67,6 +70,7 @@ __all__ = [
     "OperationMaskingAnalyzer",
     "PropagationAnalyzer",
     "PropagationResult",
+    "ReplayContext",
     "DeterministicFaultInjector",
     "FaultInjectionResult",
     "ExhaustiveCampaign",

@@ -79,6 +79,10 @@ class AnalysisConfig:
     #: When injection is disabled or out of budget, credit analytic
     #: overshadowing candidates as masked (otherwise they count as unmasked).
     analytic_overshadow_fallback: bool = True
+    #: Execution strategy for deterministic injection: ``"replay"`` resolves
+    #: each fault by checkpointed replay from the nearest snapshot (fast,
+    #: bit-identical); ``"rerun"`` re-executes from scratch (the seed path).
+    injection_mode: str = "replay"
 
 
 @dataclass
@@ -177,7 +181,9 @@ class AdvfEngine:
                 output_objects=set(self.workload.output_objects),
             )
         if self._injector is None and self.config.use_injection:
-            self._injector = DeterministicFaultInjector(self.workload)
+            self._injector = DeterministicFaultInjector(
+                self.workload, mode=self.config.injection_mode
+            )
 
     # ------------------------------------------------------------------ #
     # public API

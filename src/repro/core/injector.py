@@ -1,11 +1,26 @@
 """Deterministic fault injector (§IV).
 
-The injector re-executes a workload from identical initial state with one
+The injector executes a workload from identical initial state with one
 single-bit fault applied at a specific dynamic instruction operand, runs it
 to completion, and classifies the outcome against the golden run using the
 workload's acceptance criterion.  MOARD uses it for the analyses the trace
 analysis tool cannot resolve statically: algorithm-level masking, corrupted
 control flow / addressing, and value-overshadowing confirmation.
+
+Two execution strategies are available:
+
+``mode="replay"`` (default)
+    Checkpointed replay via :class:`~repro.core.replay.ReplayContext`: the
+    golden run and a snapshot schedule are computed once, each injection
+    restores the snapshot nearest the fault site and runs only the suffix,
+    and executions that converge back onto the golden state stop early.
+    Outcomes are bit-identical to full re-runs (asserted by the test suite).
+
+``mode="rerun"``
+    The seed behaviour — a fresh instance executed from scratch per fault
+    by the tree-walking interpreter.  Kept as the ground-truth oracle for
+    equivalence tests and benchmarks; it deliberately avoids the decoded
+    engine so an engine bug cannot hide in a replay-vs-rerun comparison.
 """
 
 from __future__ import annotations
@@ -16,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.acceptance import OutcomeClass, ScalarResultCheck, classify_outcome
+from repro.core.replay import ReplayContext
 from repro.vm.errors import StepLimitExceeded, VMError
 from repro.vm.faults import FaultSpec
 
@@ -40,33 +56,75 @@ class FaultInjectionResult:
 class DeterministicFaultInjector:
     """Run a workload with single, precisely-placed bit flips."""
 
-    def __init__(self, workload: Workload, check_return_value: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        check_return_value: Optional[bool] = None,
+        mode: str = "replay",
+        checkpoint_interval: Optional[int] = None,
+        target_checkpoints: int = 64,
+    ) -> None:
+        if mode not in ("replay", "rerun"):
+            raise ValueError(f"unknown injection mode {mode!r}")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
         self.workload = workload
         if check_return_value is None:
             check_return_value = getattr(workload, "check_return_value", True)
         self.check_return_value = check_return_value
+        self.mode = mode
+        self.checkpoint_interval = checkpoint_interval
+        self.target_checkpoints = target_checkpoints
         self._golden: Optional[RunOutcome] = None
+        self._context: Optional[ReplayContext] = None
         self.runs = 0
 
     # ------------------------------------------------------------------ #
     @property
+    def context(self) -> ReplayContext:
+        """The shared golden run + snapshot schedule (built on first use)."""
+        if self._context is None:
+            self._context = ReplayContext(
+                self.workload,
+                checkpoint_interval=self.checkpoint_interval,
+                target_checkpoints=self.target_checkpoints,
+            )
+        return self._context
+
+    @property
     def golden(self) -> RunOutcome:
-        """The cached fault-free reference run."""
+        """The cached fault-free reference run.
+
+        Each mode classifies against a golden produced by its own executor,
+        so ``rerun`` stays a fully interpreter-based oracle — an engine bug
+        cannot leak into its baseline.
+        """
         if self._golden is None:
-            self._golden = self.workload.golden_run()
+            if self.mode == "replay":
+                self._golden = self.context.golden_outcome()
+            else:
+                self._golden = self.workload.fresh_instance().run(
+                    executor="interpreter"
+                )
         return self._golden
 
     def inject(self, spec: FaultSpec) -> FaultInjectionResult:
         """Execute one faulty run and classify the outcome."""
         golden = self.golden
-        instance = self.workload.fresh_instance()
         self.runs += 1
         crashed = hung = False
         detail = ""
         outputs: Dict[str, np.ndarray] = {}
         return_value = None
         try:
-            outcome = instance.run(fault=spec)
+            if self.mode == "replay":
+                outcome = self.context.replay(spec)
+            else:
+                outcome = self.workload.fresh_instance().run(
+                    fault=spec, executor="interpreter"
+                )
             outputs = outcome.outputs
             return_value = outcome.return_value
         except StepLimitExceeded as exc:

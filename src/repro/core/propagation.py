@@ -26,7 +26,7 @@ from repro.core.masking import MaskingCategory
 from repro.core.participation import Participation, ParticipationRole
 from repro.core.patterns import ErrorPattern
 from repro.core.reexec import ReexecStatus, reevaluate, results_identical
-from repro.tracing.trace import Trace
+from repro.tracing.cursor import TraceCursor, TraceLike
 
 
 @dataclass
@@ -50,11 +50,18 @@ class PropagationResult:
 
 
 class PropagationAnalyzer:
-    """Forward error-propagation over a recorded trace."""
+    """Forward error-propagation over a recorded trace.
+
+    ``trace`` may be any trace-like event source (the full in-memory
+    :class:`~repro.tracing.trace.Trace` or a
+    :class:`~repro.tracing.sinks.ColumnarTraceSink`); events are read
+    through the :class:`~repro.tracing.cursor.TraceCursor` API rather than
+    by reaching into a concrete event list.
+    """
 
     def __init__(
         self,
-        trace: Trace,
+        trace: TraceLike,
         k: int = 50,
         output_objects: Optional[Set[str]] = None,
     ) -> None:
@@ -149,7 +156,8 @@ class PropagationAnalyzer:
         end = min(len(self.trace), position + 1 + self.k)
         steps = 0
 
-        for event in self.trace.events[position + 1 : end]:
+        cursor = TraceCursor(self.trace, position + 1)
+        for event in cursor.take(self.k):
             steps += 1
             self._drop_dead(corrupted_values, corrupted_memory, event.dynamic_id)
             if not corrupted_values and not corrupted_memory:

@@ -24,6 +24,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.types import PointerType
 from repro.frontend.intrinsics import INTRINSICS
+from repro.tracing.cursor import TraceCursor, TraceLike
 from repro.tracing.events import TraceEvent
 from repro.vm import semantics
 from repro.vm.errors import ArithmeticFault
@@ -131,6 +132,23 @@ def reevaluate(event: TraceEvent, values: Sequence[Number]) -> ReexecResult:
         return ReexecResult(ReexecStatus.VALUE, result)
     except ArithmeticFault as exc:
         return ReexecResult(ReexecStatus.TRAPPED, detail=str(exc))
+
+
+def reevaluate_at(
+    source: TraceLike, dynamic_id: int, values: Sequence[Number]
+) -> ReexecResult:
+    """Re-evaluate the event at ``dynamic_id`` of any trace-like source.
+
+    Cursor-API companion of :func:`reevaluate`: works against the full
+    in-memory trace or a columnar sink without the caller materialising the
+    event first.
+    """
+    event = TraceCursor(source, dynamic_id).peek()
+    if event is None:
+        raise IndexError(
+            f"dynamic id {dynamic_id} out of range for trace of {len(source)}"
+        )
+    return reevaluate(event, values)
 
 
 def results_identical(event: TraceEvent, recomputed: Optional[Number]) -> bool:

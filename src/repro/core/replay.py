@@ -1,0 +1,160 @@
+"""Checkpointed replay of fault injections (the engine-side acceleration).
+
+The seed injector re-executed the whole workload from scratch for every
+injected fault.  A fault at dynamic instruction *d* cannot influence
+anything before *d*, so the prefix of every faulty run is identical to the
+golden run — the dominant, perfectly redundant cost of an injection
+campaign.
+
+:class:`ReplayContext` removes it:
+
+1. run the workload **once**, capturing a :class:`~repro.vm.engine.Snapshot`
+   schedule (complete dynamic state every *interval* instructions);
+2. for each fault, restore the nearest snapshot at or before the fault site
+   and run forward with the fault armed — the prefix is never re-executed;
+3. while running forward, compare the live state against the golden
+   snapshots *after* the fault site: a bit-identical match proves the
+   execution has converged back onto the golden run (masked fault), so the
+   suffix is skipped too and the golden outcome is returned.
+
+Replayed executions are bit-identical to full re-runs: the engine restores
+registers, the call stack, the complete memory image and the allocator
+counters, so every address, stack-slot name and dynamic id matches.  The
+test suite asserts outcome identity against the from-scratch path across
+workloads and fault targets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.vm.engine import Engine, Snapshot
+from repro.vm.faults import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
+    from repro.workloads.base import RunOutcome, Workload
+
+
+class ReplayContext:
+    """Golden run + snapshot schedule of one workload, shared by many
+    injections.
+
+    Parameters
+    ----------
+    workload:
+        The workload to prepare.  Its ``fresh_instance`` must be
+        deterministic (the base-class contract).
+    checkpoint_interval:
+        Snapshot spacing in dynamic instructions.  Default: a single golden
+        run starts at a fine interval and lets the engine's
+        ``snapshot_budget`` thin the schedule by doubling, landing between
+        ``target_checkpoints`` and twice that many snapshots without a
+        separate step-counting probe run.
+    target_checkpoints:
+        Number of snapshots to aim for when the interval is derived.
+    detect_convergence:
+        Stop a replay early when its state matches the golden execution
+        again (the outcome is then provably the golden outcome).
+    """
+
+    def __init__(
+        self,
+        workload: "Workload",
+        checkpoint_interval: Optional[int] = None,
+        target_checkpoints: int = 64,
+        detect_convergence: bool = True,
+    ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        self.workload = workload
+        self.detect_convergence = detect_convergence
+
+        self.instance = workload.fresh_instance()
+        if checkpoint_interval is not None:
+            engine = Engine(
+                self.instance.module,
+                self.instance.memory,
+                snapshot_interval=checkpoint_interval,
+                max_steps=workload.max_steps,
+            )
+        else:
+            engine = Engine(
+                self.instance.module,
+                self.instance.memory,
+                snapshot_interval=64,
+                snapshot_budget=2 * max(1, target_checkpoints),
+                max_steps=workload.max_steps,
+            )
+        result = engine.run(workload.entry, self.instance.args)
+        self.checkpoint_interval = engine.snapshot_interval
+        self.snapshots: List[Snapshot] = engine.snapshots
+        self._snapshot_positions = [snap.dyn for snap in self.snapshots]
+        self.golden_steps = result.steps
+        self.golden_return = result.return_value
+        self.golden_outputs: Dict[str, np.ndarray] = {
+            name: self.instance.memory.object(name).values()
+            for name in workload.output_objects
+        }
+        #: Replays answered by convergence detection (telemetry for benches).
+        self.converged_replays = 0
+        #: Total replays served.
+        self.replays = 0
+
+    # ------------------------------------------------------------------ #
+    def golden_outcome(self) -> "RunOutcome":
+        """The fault-free outcome (outputs are fresh copies)."""
+        from repro.workloads.base import RunOutcome
+
+        return RunOutcome(
+            outputs={name: a.copy() for name, a in self.golden_outputs.items()},
+            return_value=self.golden_return,
+            steps=self.golden_steps,
+            trace=None,
+        )
+
+    def snapshot_for(self, dynamic_id: int) -> Snapshot:
+        """The latest snapshot at or before ``dynamic_id``."""
+        index = bisect_right(self._snapshot_positions, dynamic_id) - 1
+        if index < 0:
+            raise ValueError(
+                f"no snapshot at or before dynamic id {dynamic_id}"
+            )
+        return self.snapshots[index]
+
+    def replay(self, spec: FaultSpec) -> "RunOutcome":
+        """Execute the workload with ``spec`` injected, via replay.
+
+        Raises the same VM error types a full faulty run would raise;
+        callers classify crashes/hangs exactly as before.
+        """
+        from repro.workloads.base import RunOutcome
+
+        self.replays += 1
+        snapshot = self.snapshot_for(spec.dynamic_id)
+        engine = Engine(
+            self.instance.module,
+            self.instance.memory,
+            fault=spec,
+            max_steps=self.workload.max_steps,
+        )
+        result = engine.resume(
+            snapshot,
+            golden_schedule=self.snapshots if self.detect_convergence else None,
+        )
+        if engine.converged:
+            self.converged_replays += 1
+            return self.golden_outcome()
+        return RunOutcome(
+            outputs={
+                name: self.instance.memory.object(name).values()
+                for name in self.workload.output_objects
+            },
+            return_value=result.return_value,
+            steps=result.steps,
+            trace=None,
+        )

@@ -92,11 +92,17 @@ class RandomFaultInjection:
         workload: Workload,
         seed: int = 0,
         max_participations: Optional[int] = None,
+        injector: Optional[DeterministicFaultInjector] = None,
+        injection_mode: str = "replay",
     ) -> None:
         self.workload = workload
         self.seed = seed
         self.max_participations = max_participations
-        self.injector = DeterministicFaultInjector(workload)
+        #: All sampled tests replay from the shared checkpoint schedule; the
+        #: golden run is executed once per campaign object, not per test.
+        self.injector = injector or DeterministicFaultInjector(
+            workload, mode=injection_mode
+        )
 
     def run(
         self,

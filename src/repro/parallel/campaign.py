@@ -36,6 +36,9 @@ def _inject_chunk(
     from repro.workloads.registry import get_workload
 
     workload = get_workload(workload_name, **workload_kwargs)
+    # One injector per worker chunk: the golden run and the checkpoint
+    # schedule are computed once here and every spec in the chunk replays
+    # against the shared snapshots.
     injector = DeterministicFaultInjector(workload)
     results = []
     for spec in specs:
@@ -44,18 +47,22 @@ def _inject_chunk(
     return results
 
 
-def _analyze_object(
+def _analyze_objects_chunk(
     workload_name: str,
     workload_kwargs: Dict[str, object],
-    object_name: str,
+    object_names: List[str],
     config: AnalysisConfig,
-) -> Tuple[str, ObjectReport]:
+) -> List[Tuple[str, ObjectReport]]:
     from repro.core.advf import AdvfEngine
     from repro.workloads.registry import get_workload
 
+    # One workload + one AdvfEngine per worker chunk: the compiled module,
+    # the golden trace, the propagation indices and the injector's replay
+    # context are built once and reused for every object in the chunk
+    # (the seed rebuilt all of them per object).
     workload = get_workload(workload_name, **workload_kwargs)
     engine = AdvfEngine(workload, config)
-    return object_name, engine.analyze_object(object_name)
+    return [(name, engine.analyze_object(name)) for name in object_names]
 
 
 # --------------------------------------------------------------------- #
@@ -96,27 +103,40 @@ class CampaignRunner:
     def analyze_objects(
         self, object_names: Sequence[str], config: Optional[AnalysisConfig] = None
     ) -> Dict[str, ObjectReport]:
-        """One aDVF analysis per object, one worker per object."""
+        """aDVF analyses fanned out as one object *chunk* per worker.
+
+        Objects of the same workload share everything that is per-workload:
+        each worker builds the workload, the golden trace and the injector's
+        checkpoint schedule exactly once for its whole chunk instead of once
+        per object.
+        """
         config = config or AnalysisConfig()
         names = list(object_names)
         if not names:
             return {}
         if self.workers <= 1 or len(names) == 1:
             return dict(
-                _analyze_object(self.workload_name, self.workload_kwargs, name, config)
-                for name in names
+                _analyze_objects_chunk(
+                    self.workload_name, self.workload_kwargs, names, config
+                )
             )
         out: Dict[str, ObjectReport] = {}
+        chunks = chunk_evenly(names, min(self.workers, len(names)))
         with ProcessPoolExecutor(max_workers=min(self.workers, len(names))) as pool:
             futures = [
                 pool.submit(
-                    _analyze_object, self.workload_name, self.workload_kwargs, name, config
+                    _analyze_objects_chunk,
+                    self.workload_name,
+                    self.workload_kwargs,
+                    chunk,
+                    config,
                 )
-                for name in names
+                for chunk in chunks
+                if chunk
             ]
             for future in futures:
-                name, report = future.result()
-                out[name] = report
+                for name, report in future.result():
+                    out[name] = report
         return out
 
 

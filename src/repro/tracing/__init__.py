@@ -18,6 +18,8 @@ Public API
 
 from repro.tracing.events import OperandKind, TraceEvent
 from repro.tracing.trace import Trace, TraceSummary
+from repro.tracing.cursor import TraceCursor, TraceLike
+from repro.tracing.sinks import ColumnarTraceSink, CountingSink, TraceSink
 from repro.tracing.serialize import (
     trace_to_jsonl,
     trace_from_jsonl,
@@ -30,6 +32,11 @@ __all__ = [
     "TraceEvent",
     "Trace",
     "TraceSummary",
+    "TraceCursor",
+    "TraceLike",
+    "TraceSink",
+    "ColumnarTraceSink",
+    "CountingSink",
     "trace_to_jsonl",
     "trace_from_jsonl",
     "save_trace",

@@ -26,13 +26,21 @@ class Trace:
 
     Events are appended by the VM in execution order; ``dynamic_id`` equals
     the position in the list, which the analyses rely on for O(1) producer
-    lookups.
+    lookups.  ``Trace`` is the full-fidelity implementation of the
+    :class:`~repro.tracing.sinks.TraceSink` protocol — see that module for
+    the compact and counting alternatives.
     """
+
+    #: Sink-protocol flag: this sink stores complete events.
+    wants_events = True
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         #: name -> list of dynamic ids of events touching the object's memory
         self._touch_index: Dict[str, List[int]] = {}
+
+    def tick(self, opcode: Opcode) -> None:  # pragma: no cover - protocol
+        raise TypeError("Trace stores full events; use append()")
 
     # ------------------------------------------------------------------ #
     # construction

@@ -38,8 +38,9 @@ from repro.vm.errors import (
     UnknownIntrinsic,
 )
 from repro.vm.faults import FaultSpec, FaultTarget
-from repro.vm.memory import DataObject, Memory
-from repro.vm.interpreter import ExecutionResult, Interpreter
+from repro.vm.memory import DataObject, Memory, MemoryImage
+from repro.vm.interpreter import ExecutionResult, Interpreter, prepare_arguments
+from repro.vm.engine import DecodedProgram, Engine, Snapshot
 from repro.vm.registers import RegisterAllocation, RegisterFile, allocate_registers
 
 __all__ = [
@@ -62,8 +63,13 @@ __all__ = [
     "FaultTarget",
     "DataObject",
     "Memory",
+    "MemoryImage",
     "ExecutionResult",
     "Interpreter",
+    "prepare_arguments",
+    "DecodedProgram",
+    "Engine",
+    "Snapshot",
     "RegisterAllocation",
     "RegisterFile",
     "allocate_registers",

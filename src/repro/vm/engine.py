@@ -1,0 +1,929 @@
+"""Pre-decoded execution engine with checkpointed snapshots.
+
+The tree-walking :class:`~repro.vm.interpreter.Interpreter` re-derives the
+same static facts on every dynamic step: operand classes (constant vs SSA
+value vs argument) through ``isinstance`` chains, value environments through
+per-frame dicts keyed by value uids, opcode dispatch through long chains of
+enum comparisons, and trace metadata (block labels, operand types, operand
+kinds) from the instruction objects.  For fault-injection campaigns — tens of
+thousands of full executions of the same module — that per-step overhead
+dominates.
+
+This module lowers each :class:`~repro.ir.function.Function` *once* into a
+flat array of :class:`DecodedOp` records:
+
+* every operand is resolved at decode time to either a dense register-slot
+  index or a literal constant, so the hot loop does a list index instead of a
+  dict lookup plus ``isinstance`` checks;
+* opcode families with pure semantics (arithmetic, comparisons, conversions,
+  intrinsics) get a pre-bound evaluator (``op.fn``) so dispatch is one small
+  integer compare;
+* branch targets become program-counter indices and all trace-static fields
+  (function name, block label, operand types/kinds, predicate) are attached
+  to the op, so untraced runs never touch them.
+
+On top of the decoded representation the engine supports **checkpointing**:
+:class:`Snapshot` captures the complete dynamic state — the call stack with
+its register files, the full memory image, and the dynamic-instruction
+counter — and :meth:`Engine.resume` restores one and runs forward.  The
+deterministic fault injectors in :mod:`repro.core` use this to replay only
+the suffix of an execution after a fault site instead of re-running the
+whole workload (see :mod:`repro.core.replay`).
+
+Semantics are bit-identical to the interpreter: same dynamic-id numbering,
+same fault hooks, same error types, and (when a full sink is attached) the
+same :class:`~repro.tracing.events.TraceEvent` stream.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.frontend.intrinsics import INTRINSICS
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import Argument, Constant, UndefValue
+from repro.tracing.events import OperandKind, TraceEvent
+from repro.vm import semantics
+from repro.vm.bits import flip_bit
+from repro.vm.errors import StepLimitExceeded, UnknownIntrinsic, VMError
+from repro.vm.faults import FaultSpec, FaultTarget
+from repro.vm.interpreter import ExecutionResult, prepare_arguments
+from repro.vm.memory import Memory, MemoryImage
+
+Number = Union[int, float]
+
+
+class _Undef:
+    """Sentinel stored in register slots that have not been written yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<undef>"
+
+
+_UNDEF = _Undef()
+
+#: Sentinel for "no pause scheduled" in the engine loop.
+_NEVER = 1 << 62
+
+# Decoded opcode kinds (small ints; if/elif chain ordered by frequency).
+K_FN = 0            # pure evaluator bound at decode time (arith/cmp/conv/...)
+K_LOAD = 1
+K_STORE = 2
+K_GEP = 3
+K_BR_COND = 4
+K_BR = 5
+K_CALL_INTRINSIC = 6
+K_RET = 7
+K_CALL_USER = 8
+K_ALLOCA = 9
+K_PHI = 10
+
+
+class DecodedOp:
+    """One pre-decoded instruction of a :class:`DecodedFunction`.
+
+    ``src[i]`` is the register slot of operand *i*, or ``-1`` when the
+    operand is a literal whose value sits in ``consts[i]``.
+    """
+
+    __slots__ = (
+        "kind",
+        "opcode",
+        "dest",
+        "src",
+        "src_names",
+        "consts",
+        "fn",
+        "result_type",
+        "op_types",
+        "op_kinds",
+        "gep_size",
+        "pc_true",
+        "pc_false",
+        "block_true",
+        "block_false",
+        "label_true",
+        "label_false",
+        "callee",
+        "phi_by_block",
+        "block_index",
+        "function",
+        "block_label",
+        "static_uid",
+        "source_line",
+        "predicate_str",
+        "has_result",
+        "alloca_hint",
+        "alloca_type",
+        "alloca_count",
+    )
+
+    def __init__(self) -> None:
+        self.fn = None
+        self.gep_size = 0
+        self.pc_true = -1
+        self.pc_false = -1
+        self.block_true = -1
+        self.block_false = -1
+        self.label_true = None
+        self.label_false = None
+        self.callee = None
+        self.phi_by_block = None
+        self.alloca_hint = ""
+        self.alloca_type = None
+        self.alloca_count = 1
+
+
+class DecodedFunction:
+    """A function lowered to a flat op array plus a dense register file."""
+
+    __slots__ = ("name", "function", "ops", "nslots", "nargs", "block_labels")
+
+    def __init__(self, function: Function) -> None:
+        self.name = function.name
+        self.function = function
+        self.ops: List[DecodedOp] = []
+        self.nargs = len(function.args)
+        self.nslots = 0
+        self.block_labels: List[str] = [b.label for b in function.blocks]
+
+
+class DecodedProgram:
+    """All functions of a module, decoded and cross-linked."""
+
+    __slots__ = ("module", "functions")
+
+    _CACHE_ATTR = "_decoded_program_cache"
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        # Callees stay names (resolved through ``functions`` at execution
+        # time) so calls to unknown functions fault at runtime exactly like
+        # the interpreter does.
+        self.functions: Dict[str, DecodedFunction] = {
+            func.name: _decode_function(func) for func in module
+        }
+
+    @classmethod
+    def of(cls, module: Module) -> "DecodedProgram":
+        """Decode ``module`` (cached on the module object)."""
+        cached = getattr(module, cls._CACHE_ATTR, None)
+        if cached is not None and cached.module is module:
+            return cached
+        program = cls(module)
+        setattr(module, cls._CACHE_ATTR, program)
+        return program
+
+    @classmethod
+    def invalidate(cls, module: Module) -> None:
+        """Drop the decode cache (call after mutating the module's IR)."""
+        if hasattr(module, cls._CACHE_ATTR):
+            delattr(module, cls._CACHE_ATTR)
+
+
+def _decode_function(func: Function) -> DecodedFunction:
+    df = DecodedFunction(func)
+    slots: Dict[int, int] = {}
+    for arg in func.args:
+        slots[arg.uid] = len(slots)
+    for instr in func.instructions():
+        if instr.has_result:
+            slots[instr.uid] = len(slots)
+    df.nslots = len(slots)
+
+    block_index: Dict[int, int] = {id(b): i for i, b in enumerate(func.blocks)}
+    block_pc: List[int] = []
+    flat: List[Tuple[Instruction, int]] = []
+    for bi, block in enumerate(func.blocks):
+        block_pc.append(len(flat))
+        if not block.is_terminated:
+            raise VMError(
+                f"block {block.label} in {func.name} fell through without "
+                f"a terminator"
+            )
+        for instr in block.instructions:
+            flat.append((instr, bi))
+
+    for instr, bi in flat:
+        df.ops.append(_decode_instruction(func, instr, bi, slots, block_index, block_pc))
+    return df
+
+
+def _operand_kind(operand) -> OperandKind:
+    if isinstance(operand, (Constant, UndefValue)):
+        return OperandKind.CONSTANT
+    if isinstance(operand, Argument):
+        return OperandKind.ARGUMENT
+    return OperandKind.INSTRUCTION
+
+
+def _decode_instruction(
+    func: Function,
+    instr: Instruction,
+    bi: int,
+    slots: Dict[int, int],
+    block_index: Dict[int, int],
+    block_pc: List[int],
+) -> DecodedOp:
+    op = DecodedOp()
+    opcode = instr.opcode
+    op.opcode = opcode
+    op.block_index = bi
+    op.function = func.name
+    op.block_label = instr.parent.label if instr.parent else "?"
+    op.static_uid = instr.uid
+    op.source_line = instr.source_line
+    op.result_type = instr.type
+    op.has_result = instr.has_result
+    op.dest = slots[instr.uid] if instr.has_result else -1
+    op.predicate_str = instr.predicate.value if instr.predicate else None
+    op.op_types = tuple(o.type for o in instr.operands)
+    op.op_kinds = tuple(_operand_kind(o) for o in instr.operands)
+
+    src: List[int] = []
+    consts: List[Optional[Number]] = []
+    for operand in instr.operands:
+        if isinstance(operand, Constant):
+            src.append(-1)
+            consts.append(operand.value)
+        elif isinstance(operand, UndefValue):
+            src.append(-1)
+            consts.append(0)
+        else:
+            src.append(slots[operand.uid])
+            consts.append(None)
+    op.src = tuple(src)
+    op.src_names = tuple(operand.short() for operand in instr.operands)
+    op.consts = tuple(consts)
+
+    if opcode is Opcode.ALLOCA:
+        op.kind = K_ALLOCA
+        op.alloca_hint = instr.name or "tmp"
+        op.alloca_type = instr.type.pointee  # type: ignore[union-attr]
+        op.alloca_count = instr.alloca_count
+    elif opcode is Opcode.LOAD:
+        op.kind = K_LOAD
+    elif opcode is Opcode.STORE:
+        op.kind = K_STORE
+    elif opcode is Opcode.GEP:
+        op.kind = K_GEP
+        op.gep_size = instr.operands[0].type.pointee.size_bytes  # type: ignore[union-attr]
+    elif opcode is Opcode.BR:
+        targets = instr.targets
+        op.pc_true = block_pc[block_index[id(targets[0])]]
+        op.block_true = block_index[id(targets[0])]
+        op.label_true = targets[0].label
+        if len(targets) == 1:
+            op.kind = K_BR
+        else:
+            op.kind = K_BR_COND
+            op.pc_false = block_pc[block_index[id(targets[1])]]
+            op.block_false = block_index[id(targets[1])]
+            op.label_false = targets[1].label
+    elif opcode is Opcode.RET:
+        op.kind = K_RET
+    elif opcode is Opcode.CALL:
+        callee = instr.callee or ""
+        op.callee = callee
+        if callee in INTRINSICS:
+            op.kind = K_CALL_INTRINSIC
+            info = INTRINSICS[callee]
+            rtype = instr.type
+            if rtype.is_integer:
+                bits = rtype.bits
+                evaluate = info.evaluate
+
+                def _int_intrinsic(values, _eval=evaluate, _bits=bits):
+                    try:
+                        result = _eval(*values)
+                    except (ValueError, OverflowError):
+                        result = float("nan")
+                    return semantics.to_signed(int(result), _bits)
+
+                op.fn = _int_intrinsic
+            else:
+                evaluate = info.evaluate
+
+                def _float_intrinsic(values, _eval=evaluate):
+                    try:
+                        return float(_eval(*values))
+                    except (ValueError, OverflowError):
+                        return float("nan")
+
+                op.fn = _float_intrinsic
+        else:
+            op.kind = K_CALL_USER
+    elif opcode is Opcode.PHI:
+        op.kind = K_PHI
+        op.phi_by_block = {
+            block_index[id(block)]: position
+            for position, block in enumerate(instr.incoming_blocks)
+        }
+    elif opcode is Opcode.SELECT:
+        op.kind = K_FN
+        op.fn = semantics.eval_select
+    elif opcode is Opcode.ICMP:
+        op.kind = K_FN
+        predicate = instr.predicate
+        operand_type = instr.operands[0].type
+
+        def _icmp(values, _p=predicate, _t=operand_type):
+            return semantics.eval_icmp(_p, _t, values)
+
+        op.fn = _icmp
+    elif opcode is Opcode.FCMP:
+        op.kind = K_FN
+        predicate = instr.predicate
+
+        def _fcmp(values, _p=predicate):
+            return semantics.eval_fcmp(_p, values)
+
+        op.fn = _fcmp
+    elif opcode is Opcode.FNEG:
+        op.kind = K_FN
+        op.fn = lambda values: -float(values[0])
+    elif instr.is_binary:
+        op.kind = K_FN
+        rtype = instr.type
+
+        def _binary(values, _op=opcode, _t=rtype):
+            return semantics.eval_binary(_op, _t, values)
+
+        op.fn = _binary
+    else:
+        op.kind = K_FN
+        rtype = instr.type
+        source_type = instr.operands[0].type
+
+        def _conversion(values, _op=opcode, _s=source_type, _t=rtype):
+            return semantics.eval_conversion(_op, _s, _t, values[0])
+
+        op.fn = _conversion
+    return op
+
+
+class _Frame:
+    """Per-call dynamic state of the decoded engine."""
+
+    __slots__ = ("df", "pc", "prev_block", "regs", "prods", "stack_objects",
+                 "ret_slot", "ret_dyn")
+
+    def __init__(self, df: DecodedFunction) -> None:
+        self.df = df
+        self.pc = 0
+        self.prev_block = -1
+        self.regs: List[object] = [_UNDEF] * df.nslots
+        self.prods: List[int] = [-1] * df.nslots
+        self.stack_objects = []
+        self.ret_slot = -1
+        self.ret_dyn = -1
+
+
+class _FrameImage:
+    """Immutable copy of a frame used inside :class:`Snapshot`."""
+
+    __slots__ = ("func_name", "pc", "prev_block", "regs", "prods",
+                 "stack_names", "ret_slot", "ret_dyn")
+
+    def __init__(self, frame: _Frame) -> None:
+        self.func_name = frame.df.name
+        self.pc = frame.pc
+        self.prev_block = frame.prev_block
+        self.regs = list(frame.regs)
+        self.prods = list(frame.prods)
+        self.stack_names = [obj.name for obj in frame.stack_objects]
+        self.ret_slot = frame.ret_slot
+        self.ret_dyn = frame.ret_dyn
+
+
+def _values_bit_equal(a: object, b: object) -> bool:
+    """Bit-exact register comparison (``-0.0 != 0.0``, NaN payload matters)."""
+    if a is b:
+        return True
+    ta, tb = type(a), type(b)
+    if ta is not tb:
+        return False
+    if ta is float:
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    return a == b
+
+
+class Snapshot:
+    """Complete dynamic state of an :class:`Engine` at one dynamic id.
+
+    Captures the call stack (register files, program counters, stack-object
+    names), the full memory image and the dynamic-instruction counter.
+    Snapshots are standalone: restoring one fully resets memory, including
+    removing stack objects allocated after the capture point.
+    """
+
+    __slots__ = ("dyn", "frames", "memory", "last_writer")
+
+    def __init__(
+        self,
+        dyn: int,
+        frames: List[_FrameImage],
+        memory: MemoryImage,
+        last_writer: Optional[Dict[int, int]],
+    ) -> None:
+        self.dyn = dyn
+        self.frames = frames
+        self.memory = memory
+        self.last_writer = last_writer
+
+    def matches_live(self, engine: "Engine") -> bool:
+        """Whether the engine's live state is bit-identical to this snapshot.
+
+        Used by checkpointed replay to detect that a faulty execution has
+        converged back onto the golden execution: from a matching state the
+        remainder of the run is deterministic and therefore identical.
+        Producer links and the load-writer index are excluded — they are
+        trace metadata with no influence on future computation.
+        """
+        if engine._dyn != self.dyn:
+            return False
+        frames = engine._frames
+        if len(frames) != len(self.frames):
+            return False
+        for live, image in zip(frames, self.frames):
+            if (
+                live.df.name != image.func_name
+                or live.pc != image.pc
+                or live.prev_block != image.prev_block
+                or live.ret_slot != image.ret_slot
+                or live.ret_dyn != image.ret_dyn
+            ):
+                return False
+            if [obj.name for obj in live.stack_objects] != image.stack_names:
+                return False
+            regs = live.regs
+            if len(regs) != len(image.regs):
+                return False
+            for a, b in zip(regs, image.regs):
+                if not _values_bit_equal(a, b):
+                    return False
+        return engine.memory.matches_image(self.memory)
+
+
+class Engine:
+    """Execute pre-decoded IR over a :class:`Memory`.
+
+    Drop-in executor with the same contract as
+    :class:`~repro.vm.interpreter.Interpreter` (``run`` →
+    :class:`ExecutionResult`, same error types, same fault hooks, same
+    dynamic-id numbering) plus:
+
+    * ``sink`` — any :class:`~repro.tracing.sinks.TraceSink`; sinks with
+      ``wants_events = False`` skip event construction entirely;
+    * ``snapshot_interval`` — capture a :class:`Snapshot` every N dynamic
+      instructions (position 0 included) into :attr:`snapshots`;
+    * ``snapshot_budget`` — cap the snapshot count without knowing the run
+      length in advance: when the schedule fills up, every other snapshot
+      is dropped and the interval doubles (all retained positions stay
+      multiples of the final interval);
+    * :meth:`resume` — restore a snapshot and run to completion, optionally
+      detecting convergence against a golden snapshot schedule.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Memory,
+        sink=None,
+        fault: Optional[FaultSpec] = None,
+        max_steps: int = 5_000_000,
+        max_call_depth: int = 200,
+        snapshot_interval: int = 0,
+        snapshot_budget: Optional[int] = None,
+        program: Optional[DecodedProgram] = None,
+    ) -> None:
+        self.module = module
+        self.memory = memory
+        self.sink = sink
+        self.fault = fault
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.program = program if program is not None else DecodedProgram.of(module)
+        self.snapshot_interval = snapshot_interval
+        self.snapshot_budget = snapshot_budget
+        self.snapshots: List[Snapshot] = []
+        self.converged = False
+        self._dyn = 0
+        self._frames: List[_Frame] = []
+        self._last_writer: Dict[int, int] = {}
+        self._next_capture = 0 if snapshot_interval else _NEVER
+        self._golden_schedule: Optional[Sequence[Snapshot]] = None
+        self._check_cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    @property
+    def steps_executed(self) -> int:
+        return self._dyn
+
+    def run(
+        self,
+        function_name: str,
+        args: Union[Dict[str, object], Sequence[object]],
+    ) -> ExecutionResult:
+        """Execute ``function_name`` with ``args`` (same contract as the
+        interpreter's ``run``)."""
+        func = self.module.get_function(function_name)
+        values = prepare_arguments(func, args)
+        df = self.program.functions[function_name]
+        if len(self._frames) >= self.max_call_depth:
+            raise VMError(f"call depth limit ({self.max_call_depth}) exceeded")
+        frame = _Frame(df)
+        frame.regs[: df.nargs] = values
+        self._frames.append(frame)
+        return self._loop()
+
+    def resume(
+        self,
+        snapshot: Snapshot,
+        golden_schedule: Optional[Sequence[Snapshot]] = None,
+    ) -> ExecutionResult:
+        """Restore ``snapshot`` and run forward to completion.
+
+        When ``golden_schedule`` (the snapshot list of the fault-free run) is
+        given and a fault is armed, the engine compares its state against the
+        next golden snapshot after the fault site at every checkpoint
+        position; on a bit-identical match it stops early with
+        :attr:`converged` set — the remainder of the execution provably
+        equals the golden run.
+        """
+        self.memory.restore_image(snapshot.memory)
+        self._frames = []
+        for image in snapshot.frames:
+            df = self.program.functions[image.func_name]
+            frame = _Frame(df)
+            frame.pc = image.pc
+            frame.prev_block = image.prev_block
+            frame.regs = list(image.regs)
+            frame.prods = list(image.prods)
+            frame.stack_objects = [self.memory.object(n) for n in image.stack_names]
+            frame.ret_slot = image.ret_slot
+            frame.ret_dyn = image.ret_dyn
+            self._frames.append(frame)
+        self._dyn = snapshot.dyn
+        self._last_writer = dict(snapshot.last_writer or {})
+        self.converged = False
+        # re-align snapshot capture to the first interval multiple strictly
+        # after the restore point (the restore point itself is the snapshot
+        # the caller already holds)
+        if self.snapshot_interval:
+            interval = self.snapshot_interval
+            self._next_capture = (snapshot.dyn // interval + 1) * interval
+        else:
+            self._next_capture = _NEVER
+        self._golden_schedule = None
+        self._check_cursor = 0
+        if golden_schedule and self.fault is not None:
+            # first golden position strictly after the fault site (the fault
+            # must have fired before a comparison can prove convergence)
+            positions = [s.dyn for s in golden_schedule]
+            cursor = 0
+            while cursor < len(positions) and (
+                positions[cursor] <= self.fault.dynamic_id
+                or positions[cursor] <= snapshot.dyn
+            ):
+                cursor += 1
+            if cursor < len(positions):
+                self._golden_schedule = golden_schedule
+                self._check_cursor = cursor
+        return self._loop()
+
+    # ------------------------------------------------------------------ #
+    # pause handling (snapshot capture / convergence checks)
+    # ------------------------------------------------------------------ #
+    def _next_pause(self) -> int:
+        check = (
+            self._golden_schedule[self._check_cursor].dyn
+            if self._golden_schedule is not None
+            and self._check_cursor < len(self._golden_schedule)
+            else _NEVER
+        )
+        return min(self._next_capture, check)
+
+    def _on_pause(self) -> bool:
+        """Handle a scheduled pause at the current dynamic id.
+
+        Returns ``True`` when the run should stop because it converged onto
+        the golden execution.
+        """
+        if self._dyn == self._next_capture:
+            tracing = self.sink is not None and getattr(self.sink, "wants_events", True)
+            self.snapshots.append(
+                Snapshot(
+                    dyn=self._dyn,
+                    frames=[_FrameImage(f) for f in self._frames],
+                    memory=self.memory.capture_image(),
+                    last_writer=dict(self._last_writer) if tracing else None,
+                )
+            )
+            if (
+                self.snapshot_budget is not None
+                and len(self.snapshots) >= self.snapshot_budget
+            ):
+                # thin-by-doubling: drop every other snapshot and double the
+                # interval; every retained position (even multiples of the
+                # old interval) is a multiple of the new one
+                del self.snapshots[1::2]
+                self.snapshot_interval *= 2
+                self._next_capture = self.snapshots[-1].dyn + self.snapshot_interval
+            else:
+                self._next_capture += self.snapshot_interval
+        if (
+            self._golden_schedule is not None
+            and self._check_cursor < len(self._golden_schedule)
+            and self._dyn == self._golden_schedule[self._check_cursor].dyn
+        ):
+            golden = self._golden_schedule[self._check_cursor]
+            self._check_cursor += 1
+            if golden.matches_live(self):
+                self.converged = True
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # the hot loop
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> ExecutionResult:  # noqa: C901 - deliberately flat
+        frames = self._frames
+        memory = self.memory
+        sink = self.sink
+        tracing = sink is not None and getattr(sink, "wants_events", True)
+        ticking = sink is not None and not tracing
+        sink_append = sink.append if tracing else None
+        sink_tick = sink.tick if ticking else None
+        resolve = memory.resolve
+        check_access = Memory._check_access_type
+        last_writer = self._last_writer
+        fault = self.fault
+        fault_dyn = fault.dynamic_id if fault is not None else -1
+        fault_operand = fault is not None and fault.target is FaultTarget.OPERAND
+        fault_result = fault is not None and fault.target is FaultTarget.RESULT
+        fault_store_old = fault is not None and fault.target is FaultTarget.STORE_DEST_OLD
+        max_steps = self.max_steps
+        max_depth = self.max_call_depth
+        functions = self.program.functions
+        module = self.module
+
+        frame = frames[-1]
+        ops = frame.df.ops
+        regs = frame.regs
+        prods = frame.prods
+        pc = frame.pc
+        dyn = self._dyn
+        next_pause = self._next_pause()
+        return_value: Optional[Number] = None
+
+        try:
+            while True:
+                if dyn >= max_steps:
+                    raise StepLimitExceeded(max_steps)
+                if dyn == next_pause:
+                    frame.pc = pc
+                    self._dyn = dyn
+                    if self._on_pause():
+                        return ExecutionResult(
+                            return_value=None, steps=dyn, trace=sink
+                        )
+                    next_pause = self._next_pause()
+
+                op = ops[pc]
+                kind = op.kind
+
+                # ---------------------------------------------------- #
+                # operand resolution
+                # ---------------------------------------------------- #
+                values: List[Number] = []
+                for s, c in zip(op.src, op.consts):
+                    if s >= 0:
+                        v = regs[s]
+                        if v is _UNDEF:
+                            raise VMError(
+                                f"use of value {op.src_names[len(values)]} "
+                                f"before definition"
+                            )
+                        values.append(v)
+                    else:
+                        values.append(c)
+
+                if dyn == fault_dyn and fault_operand:
+                    index = fault.operand_index
+                    if index >= len(values):
+                        raise VMError(
+                            f"fault operand index {index} out of range for "
+                            f"{op.opcode.value} with {len(values)} operands"
+                        )
+                    values[index] = flip_bit(
+                        values[index], fault.bit, op.op_types[index]
+                    )
+
+                # ---------------------------------------------------- #
+                # execution
+                # ---------------------------------------------------- #
+                result: Optional[Number] = None
+                address: Optional[int] = None
+                object_name: Optional[str] = None
+                element_index: Optional[int] = None
+                writer_id = -1
+                taken_label: Optional[str] = None
+                next_pc = pc + 1
+
+                if kind == K_FN:
+                    result = op.fn(values)
+                elif kind == K_LOAD:
+                    address = int(values[0])
+                    obj, element_index = resolve(address)
+                    object_name = obj.name
+                    check_access(obj, op.result_type, address)
+                    result = obj.get(element_index)
+                    if tracing:
+                        writer_id = last_writer.get(address, -1)
+                elif kind == K_STORE:
+                    address = int(values[1])
+                    obj, element_index = resolve(address)
+                    object_name = obj.name
+                    if dyn == fault_dyn and fault_store_old:
+                        memory.flip_bit_at(address, fault.bit)
+                    check_access(obj, op.op_types[0], address)
+                    obj.set(element_index, values[0])
+                    if tracing:
+                        last_writer[address] = dyn
+                elif kind == K_GEP:
+                    result = int(values[0]) + int(values[1]) * op.gep_size
+                elif kind == K_BR_COND:
+                    if values[0]:
+                        next_pc = op.pc_true
+                        taken_label = op.label_true
+                    else:
+                        next_pc = op.pc_false
+                        taken_label = op.label_false
+                    frame.prev_block = op.block_index
+                elif kind == K_BR:
+                    next_pc = op.pc_true
+                    taken_label = op.label_true
+                    frame.prev_block = op.block_index
+                elif kind == K_CALL_INTRINSIC:
+                    result = op.fn(values)
+                elif kind == K_RET:
+                    result = values[0] if values else None
+                elif kind == K_CALL_USER:
+                    callee_df = functions.get(op.callee)
+                    if callee_df is None:
+                        raise UnknownIntrinsic(
+                            f"call to unknown function {op.callee!r}"
+                        )
+                    if len(frames) >= max_depth:
+                        raise VMError(
+                            f"call depth limit ({max_depth}) exceeded"
+                        )
+                    if tracing:
+                        sink_append(
+                            TraceEvent(
+                                dynamic_id=dyn,
+                                opcode=Opcode.CALL,
+                                function=op.function,
+                                block=op.block_label,
+                                static_uid=op.static_uid,
+                                source_line=op.source_line,
+                                operand_values=tuple(values),
+                                operand_types=op.op_types,
+                                operand_producers=tuple(
+                                    prods[s] if s >= 0 else -1 for s in op.src
+                                ),
+                                operand_kinds=op.op_kinds,
+                                result_value=None,
+                                result_type=op.result_type if op.has_result else None,
+                                predicate=None,
+                                callee=op.callee,
+                                address=None,
+                                object_name=None,
+                                element_index=None,
+                                writer_id=-1,
+                                taken_label=None,
+                            )
+                        )
+                    elif ticking:
+                        sink_tick(Opcode.CALL)
+                    frame.pc = next_pc
+                    callee_frame = _Frame(callee_df)
+                    # mirror the interpreter's zip semantics on arity
+                    # mismatch: surplus arguments are ignored, missing ones
+                    # leave their slots undefined (raising on first use)
+                    nargs = min(callee_df.nargs, len(values))
+                    callee_frame.regs[:nargs] = values[:nargs]
+                    if tracing:
+                        callee_frame.prods[:nargs] = [
+                            prods[s] if s >= 0 else -1 for s in op.src[:nargs]
+                        ]
+                    callee_frame.ret_slot = op.dest
+                    callee_frame.ret_dyn = dyn
+                    frames.append(callee_frame)
+                    dyn += 1
+                    frame = callee_frame
+                    ops = callee_df.ops
+                    regs = frame.regs
+                    prods = frame.prods
+                    pc = 0
+                    continue
+                elif kind == K_ALLOCA:
+                    obj = memory.allocate_stack(
+                        op.alloca_hint, op.alloca_type, op.alloca_count
+                    )
+                    frame.stack_objects.append(obj)
+                    result = obj.base
+                else:  # K_PHI
+                    prev = frame.prev_block
+                    if prev < 0:
+                        raise VMError("phi executed in the entry block")
+                    position = op.phi_by_block.get(prev)
+                    if position is None:
+                        raise VMError(
+                            f"phi has no incoming value for predecessor "
+                            f"{frame.df.block_labels[prev]}"
+                        )
+                    result = values[position]
+
+                dest = op.dest
+                if dest >= 0:
+                    if dyn == fault_dyn and fault_result and kind != K_CALL_INTRINSIC:
+                        result = flip_bit(result, fault.bit, op.result_type)
+                    regs[dest] = result
+                    if tracing:
+                        prods[dest] = dyn
+
+                if tracing:
+                    sink_append(
+                        TraceEvent(
+                            dynamic_id=dyn,
+                            opcode=op.opcode,
+                            function=op.function,
+                            block=op.block_label,
+                            static_uid=op.static_uid,
+                            source_line=op.source_line,
+                            operand_values=tuple(values),
+                            operand_types=op.op_types,
+                            operand_producers=tuple(
+                                prods[s] if s >= 0 else -1 for s in op.src
+                            ),
+                            operand_kinds=op.op_kinds,
+                            result_value=result if op.has_result else None,
+                            result_type=op.result_type if op.has_result else None,
+                            predicate=op.predicate_str,
+                            callee=op.callee,
+                            address=address,
+                            object_name=object_name,
+                            element_index=element_index,
+                            writer_id=writer_id,
+                            taken_label=taken_label,
+                        )
+                    )
+                elif ticking:
+                    sink_tick(op.opcode)
+                dyn += 1
+
+                if kind == K_RET:
+                    frames.pop()
+                    for obj in frame.stack_objects:
+                        memory.release(obj)
+                    if not frames:
+                        return_value = result
+                        break
+                    ret_slot = frame.ret_slot
+                    ret_dyn = frame.ret_dyn
+                    frame = frames[-1]
+                    if ret_slot >= 0:
+                        if result is None:
+                            raise VMError(
+                                f"call to {op.function} returned no value"
+                            )
+                        frame.regs[ret_slot] = result
+                        if tracing:
+                            frame.prods[ret_slot] = ret_dyn
+                    ops = frame.df.ops
+                    regs = frame.regs
+                    prods = frame.prods
+                    pc = frame.pc
+                    continue
+
+                pc = next_pc
+        except BaseException:
+            # release any stack allocations still owned by live frames so a
+            # crashing run leaves memory as the recursive interpreter would
+            while frames:
+                dead = frames.pop()
+                for obj in dead.stack_objects:
+                    memory.release(obj)
+            raise
+        finally:
+            self._dyn = dyn
+
+        return ExecutionResult(return_value=return_value, steps=dyn, trace=sink)

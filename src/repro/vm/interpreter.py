@@ -60,6 +60,51 @@ from repro.vm.memory import DataObject, Memory
 Number = Union[int, float]
 
 
+def prepare_arguments(
+    func: Function, args: Union[Dict[str, object], Sequence[object]]
+) -> List[Number]:
+    """Marshal entry-point arguments into runtime values.
+
+    ``args`` may be a mapping from parameter names or a positional sequence.
+    Pointer parameters accept :class:`DataObject` instances (their base
+    address is passed) or raw integer addresses; scalar parameters accept
+    Python numbers.  Shared by the tree-walking :class:`Interpreter` and the
+    pre-decoded :class:`~repro.vm.engine.Engine`.
+    """
+    if isinstance(args, dict):
+        missing = [a.name for a in func.args if a.name not in args]
+        if missing:
+            raise VMError(f"missing arguments for {func.name}: {missing}")
+        raw = [args[a.name] for a in func.args]
+    else:
+        raw = list(args)
+        if len(raw) != len(func.args):
+            raise VMError(
+                f"{func.name} expects {len(func.args)} arguments, got {len(raw)}"
+            )
+    values: List[Number] = []
+    for formal, actual in zip(func.args, raw):
+        if isinstance(actual, DataObject):
+            if not formal.type.is_pointer:
+                raise VMError(
+                    f"argument {formal.name} of {func.name} is scalar but got a "
+                    f"data object"
+                )
+            values.append(actual.base)
+        elif isinstance(actual, (int, float)):
+            if formal.type.is_float:
+                values.append(float(actual))
+            elif formal.type.is_integer:
+                values.append(int(actual))
+            else:
+                values.append(int(actual))  # raw address
+        else:
+            raise VMError(
+                f"unsupported argument value {actual!r} for {formal.name}"
+            )
+    return values
+
+
 @dataclass
 class ExecutionResult:
     """Outcome of one (traced or faulty) execution."""
@@ -135,38 +180,7 @@ class Interpreter:
     def _prepare_arguments(
         self, func: Function, args: Union[Dict[str, object], Sequence[object]]
     ) -> List[Number]:
-        if isinstance(args, dict):
-            missing = [a.name for a in func.args if a.name not in args]
-            if missing:
-                raise VMError(f"missing arguments for {func.name}: {missing}")
-            raw = [args[a.name] for a in func.args]
-        else:
-            raw = list(args)
-            if len(raw) != len(func.args):
-                raise VMError(
-                    f"{func.name} expects {len(func.args)} arguments, got {len(raw)}"
-                )
-        values: List[Number] = []
-        for formal, actual in zip(func.args, raw):
-            if isinstance(actual, DataObject):
-                if not formal.type.is_pointer:
-                    raise VMError(
-                        f"argument {formal.name} of {func.name} is scalar but got a "
-                        f"data object"
-                    )
-                values.append(actual.base)
-            elif isinstance(actual, (int, float)):
-                if formal.type.is_float:
-                    values.append(float(actual))
-                elif formal.type.is_integer:
-                    values.append(int(actual))
-                else:
-                    values.append(int(actual))  # raw address
-            else:
-                raise VMError(
-                    f"unsupported argument value {actual!r} for {formal.name}"
-                )
-        return values
+        return prepare_arguments(func, args)
 
     # ------------------------------------------------------------------ #
     # execution core

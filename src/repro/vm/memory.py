@@ -269,6 +269,76 @@ class Memory:
         return new_value
 
     # ------------------------------------------------------------------ #
+    # full-state images (engine checkpointing)
+    # ------------------------------------------------------------------ #
+    def capture_image(self) -> "MemoryImage":
+        """Copy the complete address-space state (all objects, stack
+        included, plus the allocator counters) into a standalone image."""
+        return MemoryImage(
+            next_address=self._next_address,
+            stack_counter=self._stack_counter,
+            objects=tuple(
+                (
+                    obj.name,
+                    obj.element_type,
+                    obj.count,
+                    obj.base,
+                    obj.is_stack,
+                    obj.array.tobytes(),
+                )
+                for obj in self._objects.values()
+            ),
+        )
+
+    def restore_image(self, image: "MemoryImage") -> None:
+        """Reset the address space to ``image`` exactly.
+
+        Objects allocated after the capture disappear; released ones come
+        back; the allocator counters rewind so replayed ``alloca`` sequences
+        reproduce the captured run's addresses and stack-slot names.
+        """
+        self._next_address = image.next_address
+        self._stack_counter = image.stack_counter
+        self._objects = {}
+        pairs: List[Tuple[int, DataObject]] = []
+        for name, element_type, count, base, is_stack, raw in image.objects:
+            array = np.frombuffer(raw, dtype=dtype_for(element_type)).copy()
+            obj = DataObject(
+                name=name,
+                element_type=element_type,
+                count=count,
+                base=base,
+                is_stack=is_stack,
+                array=array,
+            )
+            self._objects[name] = obj
+            pairs.append((base, obj))
+        pairs.sort(key=lambda pair: pair[0])
+        self._bases = [base for base, _ in pairs]
+        self._by_base = [obj for _, obj in pairs]
+
+    def matches_image(self, image: "MemoryImage") -> bool:
+        """Bit-exact comparison of the live state against a captured image."""
+        if (
+            self._next_address != image.next_address
+            or self._stack_counter != image.stack_counter
+            or len(self._objects) != len(image.objects)
+        ):
+            return False
+        for name, element_type, count, base, is_stack, raw in image.objects:
+            obj = self._objects.get(name)
+            if (
+                obj is None
+                or obj.element_type != element_type
+                or obj.count != count
+                or obj.base != base
+                or obj.is_stack != is_stack
+                or obj.array.tobytes() != raw
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
     # snapshots (golden-run / faulty-run comparisons)
     # ------------------------------------------------------------------ #
     def snapshot(self, names: Optional[Iterable[str]] = None) -> Dict[str, np.ndarray]:
@@ -287,3 +357,19 @@ class Memory:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Memory: {len(self._objects)} objects, next={self._next_address:#x}>"
+
+
+@dataclass(frozen=True)
+class MemoryImage:
+    """Standalone copy of a :class:`Memory`'s complete state.
+
+    Arrays are stored as raw bytes so images are immutable, cheap to compare
+    (``tobytes`` equality is a memcmp) and safe to share between the
+    checkpoint schedule and concurrent replays.
+    """
+
+    next_address: int
+    stack_counter: int
+    #: ``(name, element_type, count, base, is_stack, raw_bytes)`` per object,
+    #: in allocation (insertion) order.
+    objects: Tuple[Tuple[str, IRType, int, int, bool, bytes], ...]

@@ -18,7 +18,9 @@ import numpy as np
 from repro.core.acceptance import AcceptanceCriterion, RelativeTolerance
 from repro.frontend.compiler import compile_kernels
 from repro.ir.function import Module
+from repro.tracing.sinks import TraceSink
 from repro.tracing.trace import Trace
+from repro.vm.engine import Engine
 from repro.vm.faults import FaultSpec
 from repro.vm.interpreter import Interpreter
 from repro.vm.memory import DataObject, Memory
@@ -33,7 +35,9 @@ class RunOutcome:
     outputs: Dict[str, np.ndarray]
     return_value: Optional[Number]
     steps: int
-    trace: Optional[Trace] = None
+    #: The sink the run was recorded into (a full :class:`Trace`, a columnar
+    #: or counting sink, or ``None`` for sink-free executions).
+    trace: Optional[TraceSink] = None
 
 
 class WorkloadInstance:
@@ -57,23 +61,42 @@ class WorkloadInstance:
 
     def run(
         self,
-        trace: Optional[Trace] = None,
+        trace: Optional[TraceSink] = None,
         fault: Optional[FaultSpec] = None,
         max_steps: Optional[int] = None,
+        executor: str = "engine",
     ) -> RunOutcome:
         """Execute the workload's entry kernel.
+
+        ``trace`` accepts any :class:`~repro.tracing.sinks.TraceSink` (the
+        full :class:`~repro.tracing.trace.Trace`, a columnar sink, a
+        counting sink) or ``None`` for a sink-free run.  ``executor``
+        selects the pre-decoded :class:`~repro.vm.engine.Engine` (default)
+        or the tree-walking ``"interpreter"`` — both produce bit-identical
+        results; the interpreter is kept as the reference oracle.
 
         Raises the VM error types on crashes/hangs; callers performing fault
         injection catch them and classify the outcome.
         """
-        interpreter = Interpreter(
-            self.module,
-            self.memory,
-            trace=trace,
-            fault=fault,
-            max_steps=max_steps or self.workload.max_steps,
-        )
-        result = interpreter.run(self.workload.entry, self.args)
+        if executor == "engine":
+            runner = Engine(
+                self.module,
+                self.memory,
+                sink=trace,
+                fault=fault,
+                max_steps=max_steps or self.workload.max_steps,
+            )
+        elif executor == "interpreter":
+            runner = Interpreter(
+                self.module,
+                self.memory,
+                trace=trace,
+                fault=fault,
+                max_steps=max_steps or self.workload.max_steps,
+            )
+        else:
+            raise ValueError(f"unknown executor {executor!r}")
+        result = runner.run(self.workload.entry, self.args)
         outputs = {
             name: self.memory.object(name).values()
             for name in self.workload.output_objects

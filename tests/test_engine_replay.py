@@ -1,0 +1,191 @@
+"""Checkpointed replay must be indistinguishable from full re-execution.
+
+The property under test (the acceptance criterion of the engine refactor):
+for any workload and any fault spec, injecting via snapshot-restore replay
+produces the *same* :class:`OutcomeClass` — and, for non-crashing runs, the
+same output bits — as re-running the whole workload from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.injector import DeterministicFaultInjector
+from repro.core.replay import ReplayContext
+from repro.core.sites import enumerate_fault_sites
+from repro.vm import Engine, FaultSpec, FaultTarget
+from repro.vm.engine import DecodedProgram
+from repro.workloads.registry import get_workload
+
+
+def _sampled_specs(workload, max_specs=36, bit_stride=11):
+    """A deterministic, diverse sample of the workload's fault space."""
+    trace = workload.traced_run().trace
+    specs = []
+    for target in workload.target_objects:
+        sites = enumerate_fault_sites(trace, target, bit_stride=bit_stride)
+        step = max(1, len(sites) // (max_specs // max(1, len(workload.target_objects))))
+        specs.extend(site.to_spec() for site in sites[::step])
+    # add a handful of result-target faults (sites only cover operand /
+    # store-destination targets)
+    for event in list(trace)[:: max(1, len(trace) // 6)]:
+        if event.result_value is not None:
+            specs.append(
+                FaultSpec(
+                    dynamic_id=event.dynamic_id,
+                    bit=17 % max(1, event.result_type.bits),
+                    target=FaultTarget.RESULT,
+                )
+            )
+    return specs[:max_specs]
+
+
+# --------------------------------------------------------------------- #
+# the core property: replay == rerun
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ["matmul", "cg", "lulesh"])
+def test_replay_outcomes_match_full_rerun(name):
+    workload = get_workload(name)
+    specs = _sampled_specs(workload)
+    assert specs, "sample must not be empty"
+    rerun = DeterministicFaultInjector(workload, mode="rerun")
+    replay = DeterministicFaultInjector(workload, mode="replay")
+    for spec in specs:
+        expected = rerun.inject(spec)
+        actual = replay.inject(spec)
+        assert actual.outcome is expected.outcome, (
+            f"{name} {spec}: replay={actual.outcome} rerun={expected.outcome}"
+        )
+
+
+def test_replay_outputs_bit_identical_to_rerun():
+    workload = get_workload("matmul")
+    trace = workload.traced_run().trace
+    sites = enumerate_fault_sites(trace, workload.target_objects[0], bit_stride=13)
+    context = ReplayContext(workload)
+    for site in sites[:: max(1, len(sites) // 12)]:
+        spec = site.to_spec()
+        try:
+            replayed = context.replay(spec)
+        except Exception as replay_error:  # crash parity checked below
+            with pytest.raises(type(replay_error)):
+                workload.fresh_instance().run(fault=spec)
+            continue
+        fresh = workload.fresh_instance().run(fault=spec)
+        assert replayed.return_value == fresh.return_value
+        assert replayed.steps == fresh.steps
+        for obj in fresh.outputs:
+            assert np.array_equal(
+                replayed.outputs[obj].view(np.uint8),
+                fresh.outputs[obj].view(np.uint8),
+            ), obj
+
+
+def test_replay_handles_hang_and_crash_classification(cg_workload):
+    """Crash/hang outcomes classify identically through both paths."""
+    specs = _sampled_specs(cg_workload, max_specs=24, bit_stride=3)
+    rerun = DeterministicFaultInjector(cg_workload, mode="rerun")
+    replay = DeterministicFaultInjector(cg_workload, mode="replay")
+    outcomes = set()
+    for spec in specs:
+        expected = rerun.inject(spec)
+        actual = replay.inject(spec)
+        assert actual.outcome is expected.outcome
+        outcomes.add(actual.outcome)
+    assert len(outcomes) >= 2, "sample should exercise several outcome classes"
+
+
+# --------------------------------------------------------------------- #
+# snapshots
+# --------------------------------------------------------------------- #
+def test_snapshot_resume_reproduces_golden_run():
+    workload = get_workload("cg")
+    instance = workload.fresh_instance()
+    engine = Engine(instance.module, instance.memory, snapshot_interval=700)
+    result = engine.run(workload.entry, instance.args)
+    golden = {
+        name: instance.memory.object(name).values()
+        for name in workload.output_objects
+    }
+    assert engine.snapshots and engine.snapshots[0].dyn == 0
+    for snapshot in engine.snapshots:
+        resumed = Engine(instance.module, instance.memory).resume(snapshot)
+        assert resumed.steps == result.steps
+        assert resumed.return_value == result.return_value
+        for name in golden:
+            assert np.array_equal(
+                golden[name], instance.memory.object(name).values()
+            ), (snapshot.dyn, name)
+
+
+def test_snapshot_restore_resets_memory_completely():
+    workload = get_workload("lulesh")
+    instance = workload.fresh_instance()
+    engine = Engine(instance.module, instance.memory, snapshot_interval=500)
+    engine.run(workload.entry, instance.args)
+    snapshot = engine.snapshots[2]
+    # clobber memory, then restore: state must match the capture bit-for-bit
+    for obj in instance.memory.data_objects():
+        obj.array[:] = 0
+    instance.memory.restore_image(snapshot.memory)
+    assert instance.memory.matches_image(snapshot.memory)
+
+
+def test_replay_context_snapshot_selection():
+    workload = get_workload("matmul")
+    context = ReplayContext(workload, checkpoint_interval=1000)
+    positions = [snap.dyn for snap in context.snapshots]
+    assert positions[0] == 0 and positions == sorted(positions)
+    assert context.snapshot_for(0).dyn == 0
+    assert context.snapshot_for(999).dyn == 0
+    assert context.snapshot_for(1000).dyn == 1000
+    assert context.snapshot_for(10**9).dyn == positions[-1]
+
+
+def test_replay_convergence_detection_short_circuits():
+    """Masked faults converge back onto the golden state and stop early."""
+    workload = get_workload("matmul")
+    context = ReplayContext(workload, checkpoint_interval=200)
+    trace = workload.traced_run().trace
+    sites = enumerate_fault_sites(trace, workload.target_objects[0], bit_stride=9)
+    injector = DeterministicFaultInjector(workload)
+    injector._context = context  # share the prepared schedule
+    results = [injector.inject(site.to_spec()) for site in sites[:40]]
+    assert context.replays == len(results)
+    masked = [r for r in results if r.outcome.is_masked]
+    if masked:
+        assert context.converged_replays > 0
+
+
+# --------------------------------------------------------------------- #
+# decode layer
+# --------------------------------------------------------------------- #
+def test_decoded_program_cached_per_module():
+    workload = get_workload("matmul")
+    module = workload.module()
+    first = DecodedProgram.of(module)
+    assert DecodedProgram.of(module) is first
+    DecodedProgram.invalidate(module)
+    assert DecodedProgram.of(module) is not first
+
+
+def test_engine_equivalence_on_tiny_kernels(accumulate_trace):
+    """The engine agrees with a seed-recorded interpreter trace."""
+    from repro.ir.types import F64
+    from repro.tracing import Trace
+    from repro.vm import Memory
+
+    module = accumulate_trace["module"]
+    reference = accumulate_trace["trace"]
+    memory = Memory()
+    src = memory.allocate("src", F64, 5, initial=[1.0, -2.0, 3.0, 0.5, 4.0])
+    dst = memory.allocate("dst", F64, 5)
+    sink = Trace()
+    result = Engine(module, memory, sink=sink).run(
+        "accumulate", {"src": src, "dst": dst, "n": 5}
+    )
+    assert result.return_value == accumulate_trace["return_value"]
+    assert len(sink) == len(reference)
+    for a, b in zip(reference, sink):
+        assert a.opcode is b.opcode and a.operand_values == b.operand_values
