@@ -1,0 +1,188 @@
+"""B-CAMP — campaign orchestration microbenchmark.
+
+Three measurements of the durable-campaign subsystem:
+
+* **shard throughput**: a fixed-count campaign executed through the
+  orchestrator (sharding + worker execution + SQLite checkpointing),
+  reported as injections/second and seconds/shard;
+* **resume overhead**: re-running the completed campaign — every shard is
+  found in the store and skipped, so this isolates the pure cost of the
+  durable bookkeeping (plan regeneration, golden trace, shard lookups);
+* **adaptive vs fixed sizing**: an :class:`AdaptivePlan` targeting a CI
+  half-width, versus the fixed-count plan that must be sized for the
+  worst case p = 0.5 to guarantee the same precision.  The acceptance bar
+  is that the adaptive campaign reaches the target half-width with fewer
+  injections.
+
+Stats land in the pytest-benchmark ``extra_info`` JSON so the perf
+trajectory records campaign throughput and resume overhead over time.
+Runnable standalone too::
+
+    python benchmarks/bench_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401  (installed package or PYTHONPATH=src)
+except ModuleNotFoundError:  # standalone script run from a source checkout
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro.campaigns import (
+    AdaptivePlan,
+    CampaignOrchestrator,
+    CampaignStore,
+    FixedRandomPlan,
+    fixed_sample_size_for_half_width,
+    wilson_half_width,
+)
+
+WORKLOAD = os.environ.get("REPRO_BENCH_WORKLOAD", "matmul")
+#: Injections in the fixed-count shard-throughput campaign.
+TESTS = max(8, int(os.environ.get("REPRO_BENCH_CAMPAIGN_TESTS", "128")))
+SHARD_SIZE = max(4, int(os.environ.get("REPRO_BENCH_SHARD_SIZE", "32")))
+#: Target CI half-width of the adaptive-vs-fixed comparison.
+HALF_WIDTH = float(os.environ.get("REPRO_BENCH_HALF_WIDTH", "0.12"))
+
+
+def _store(tmpdir: str, name: str) -> CampaignStore:
+    return CampaignStore(os.path.join(tmpdir, name))
+
+
+def measure_shard_throughput_and_resume(workload_name: str = WORKLOAD):
+    """Fixed campaign end-to-end, then a full-skip resume of the same."""
+    with tempfile.TemporaryDirectory() as tmpdir:
+        store = _store(tmpdir, "bench.sqlite")
+        orchestrator = CampaignOrchestrator(
+            store,
+            workload_name,
+            plan=FixedRandomPlan(tests=TESTS, seed=11),
+            workers=1,
+            shard_size=SHARD_SIZE,
+        )
+        start = time.perf_counter()
+        result = orchestrator.run()
+        run_s = time.perf_counter() - start
+        assert result.status == "complete"
+
+        start = time.perf_counter()
+        resumed = orchestrator.run()
+        resume_s = time.perf_counter() - start
+        assert resumed.executed_shards == 0
+        assert resumed.skipped_shards == result.executed_shards
+
+        store.close()
+        return {
+            "workload": workload_name,
+            "injections": result.executed_injections,
+            "shards": result.executed_shards,
+            "shard_size": SHARD_SIZE,
+            "campaign_s": run_s,
+            "injections_per_s": result.executed_injections / run_s if run_s else 0.0,
+            "s_per_shard": run_s / result.executed_shards if result.executed_shards else 0.0,
+            "resume_overhead_s": resume_s,
+            "resume_skip_per_s": (
+                resumed.skipped_shards / resume_s if resume_s else float("inf")
+            ),
+        }
+
+
+def measure_adaptive_vs_fixed(workload_name: str = WORKLOAD):
+    """Adaptive CI-driven sizing against the worst-case fixed-count plan."""
+    plan = AdaptivePlan(
+        target_half_width=HALF_WIDTH, batch_size=16, max_batches=64, seed=5
+    )
+    with tempfile.TemporaryDirectory() as tmpdir:
+        store = _store(tmpdir, "adaptive.sqlite")
+        orchestrator = CampaignOrchestrator(store, workload_name, plan=plan, workers=1)
+        start = time.perf_counter()
+        result = orchestrator.run()
+        adaptive_s = time.perf_counter() - start
+        assert result.status == "complete"
+        per_object = {
+            name: {
+                "injections": trials,
+                "masking_rate": successes / trials if trials else 0.0,
+                "half_width": wilson_half_width(successes, trials, plan.z),
+            }
+            for name, (successes, trials) in result.tallies.items()
+        }
+        store.close()
+    # the fixed plan commits to the worst-case count *per object*
+    fixed_equivalent = fixed_sample_size_for_half_width(HALF_WIDTH, plan.z) * len(
+        per_object
+    )
+    adaptive_injections = result.executed_injections
+    return {
+        "workload": workload_name,
+        "target_half_width": HALF_WIDTH,
+        "objects": len(per_object),
+        "adaptive_injections": adaptive_injections,
+        "fixed_equivalent_injections": fixed_equivalent,
+        "injections_saved": fixed_equivalent - adaptive_injections,
+        "adaptive_s": adaptive_s,
+        "per_object": per_object,
+    }
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------- #
+def test_bench_campaign_shard_throughput(once, benchmark):
+    from conftest import print_header
+
+    stats = once(measure_shard_throughput_and_resume)
+    benchmark.extra_info.update(stats)
+    print_header(
+        f"Campaign: shard throughput + resume overhead ({stats['injections']} "
+        f"injections, shards of {stats['shard_size']})"
+    )
+    print(json.dumps(stats, indent=2))
+    # resuming a finished campaign must cost far less than running it
+    assert stats["resume_overhead_s"] < stats["campaign_s"]
+
+
+def test_bench_campaign_adaptive_vs_fixed(once, benchmark):
+    from conftest import print_header
+
+    stats = once(measure_adaptive_vs_fixed)
+    benchmark.extra_info.update(
+        {k: v for k, v in stats.items() if k != "per_object"}
+    )
+    print_header(
+        f"Campaign: adaptive CI sizing vs fixed-count "
+        f"(half-width <= {stats['target_half_width']})"
+    )
+    print(json.dumps(stats, indent=2))
+    # acceptance bar: adaptive reaches the target with fewer injections
+    for info in stats["per_object"].values():
+        assert info["half_width"] <= stats["target_half_width"]
+    assert stats["adaptive_injections"] < stats["fixed_equivalent_injections"]
+
+
+def main() -> None:
+    throughput = measure_shard_throughput_and_resume()
+    adaptive = measure_adaptive_vs_fixed()
+    print(json.dumps({"throughput": throughput, "adaptive": adaptive}, indent=2))
+    assert throughput["resume_overhead_s"] < throughput["campaign_s"], (
+        "resume overhead exceeded the full campaign cost"
+    )
+    for info in adaptive["per_object"].values():
+        assert info["half_width"] <= adaptive["target_half_width"], (
+            "adaptive campaign stopped above the target CI half-width"
+        )
+    assert adaptive["adaptive_injections"] < adaptive["fixed_equivalent_injections"], (
+        "adaptive plan did not beat the equivalent fixed-count plan"
+    )
+
+
+if __name__ == "__main__":
+    main()

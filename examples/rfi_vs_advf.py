@@ -9,6 +9,7 @@ Run with:  python examples/rfi_vs_advf.py
 
 from __future__ import annotations
 
+from repro.campaigns.stats import wilson_interval
 from repro.core.advf import AdvfEngine, AnalysisConfig
 from repro.core.patterns import SingleBitModel
 from repro.core.rfi import RandomFaultInjection, required_sample_size
@@ -40,7 +41,10 @@ def main() -> None:
         row = [tests]
         for name in OBJECTS:
             result = rfi_by_object[name][i]
-            row.append(f"{result.success_rate:.3f}±{result.margin_of_error:.3f}")
+            # Wilson score CI: well-behaved even at extreme success rates,
+            # unlike the Wald margin the seed printed.
+            low, high = wilson_interval(result.successes, result.tests)
+            row.append(f"{result.success_rate:.3f} CI[{low:.3f},{high:.3f}]")
         rows.append(row)
         rankings.add(
             tuple(sorted(OBJECTS, key=lambda n: rfi_by_object[n][i].success_rate, reverse=True))

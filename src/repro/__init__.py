@@ -13,7 +13,10 @@ provides, in pure Python:
   exhaustive / random fault injection and the aDVF metric;
 * the workloads studied in the paper (``repro.workloads``), an ABFT GEMM
   (``repro.abft``), a multiprocessing campaign runner (``repro.parallel``)
-  and text reporting of the paper's tables and figures (``repro.reporting``).
+  and text reporting of the paper's tables and figures (``repro.reporting``);
+* durable campaign orchestration (``repro.campaigns``): an append-only
+  SQLite result store, resumable sharded campaigns, adaptive sampling
+  plans and the ``python -m repro campaign`` CLI.
 
 Quickstart
 ----------
@@ -38,4 +41,8 @@ def __getattr__(name):
         from repro.workloads.registry import WORKLOADS
 
         return WORKLOADS
+    if name in ("CampaignStore", "CampaignOrchestrator", "wilson_interval"):
+        import repro.campaigns as _campaigns
+
+        return getattr(_campaigns, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,353 @@
+"""``python -m repro`` — the campaign command line.
+
+Subcommands::
+
+    repro campaign run WORKLOAD --plan SPEC [options]   start / continue
+    repro campaign resume TARGET [options]              continue an interrupted one
+    repro campaign status [TARGET]                      progress + outcome tables
+    repro campaign export TARGET [--out FILE]           JSONL dump of the store rows
+    repro campaign report TARGET [options]              aDVF tables (from the store)
+    repro workloads                                     list registered workloads
+
+``TARGET`` is either a campaign id (``c0123abcd…`` as printed by ``run``)
+or a workload name combined with ``--plan`` — the content-addressed id is
+recomputed from them, so ``run`` followed by ``resume`` with the same
+arguments lands on the same campaign without copying ids around.
+
+The store location comes from ``--store`` or the ``REPRO_STORE``
+environment variable (default ``campaigns.sqlite``); worker counts from
+``--workers`` or ``REPRO_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaigns.orchestrator import (
+    DEFAULT_SHARD_SIZE,
+    CampaignOrchestrator,
+)
+from repro.campaigns.plans import parse_plan, plan_from_dict
+from repro.campaigns.store import CampaignStore, compute_campaign_id
+from repro.core.advf import AnalysisConfig
+from repro.core.patterns import SingleBitModel
+from repro.reporting import (
+    format_advf_report_table,
+    format_campaign_list,
+    format_outcome_table,
+    format_table,
+)
+from repro.workloads.registry import validate_workload, workload_summaries
+
+DEFAULT_STORE = "campaigns.sqlite"
+
+
+def _parse_set(values: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--set key=value`` overrides (values decoded as JSON
+    when possible, kept as strings otherwise)."""
+    out: Dict[str, object] = {}
+    for item in values:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        try:
+            out[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[key] = raw
+    return out
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOARD reproduction: durable fault-injection campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list registered workloads")
+
+    campaign = sub.add_parser("campaign", help="run and inspect campaigns")
+    csub = campaign.add_subparsers(dest="action", required=True)
+
+    def common(p: argparse.ArgumentParser, with_exec: bool = False) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            help=f"SQLite store path (default: $REPRO_STORE or {DEFAULT_STORE})",
+        )
+        if with_exec:
+            p.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: $REPRO_WORKERS or cores-1)")
+            p.add_argument("--max-shards", type=int, default=None,
+                           help="execute at most N shards this run (smoke/interrupt)")
+
+    def target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("target", help="campaign id, or workload name (with --plan)")
+        p.add_argument("--plan", default=None, help="plan spec when TARGET is a workload")
+        p.add_argument("--objects", default=None,
+                       help="comma-separated data objects (default: workload targets)")
+        p.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                       help=f"specs per shard (default {DEFAULT_SHARD_SIZE})")
+        p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       help="workload constructor override (repeatable)")
+
+    run = csub.add_parser("run", help="start (or continue) a campaign")
+    run.add_argument("workload", help="registered workload name")
+    run.add_argument("--plan", required=True,
+                     help="sampling plan: exhaustive[:STRIDE] | fixed:N[@SEED] | "
+                          "stratified:NxI[@SEED] | adaptive:H[xBATCH][@SEED]")
+    run.add_argument("--objects", default=None,
+                     help="comma-separated data objects (default: workload targets)")
+    run.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                     help=f"specs per shard (default {DEFAULT_SHARD_SIZE})")
+    run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                     help="workload constructor override (repeatable)")
+    common(run, with_exec=True)
+
+    resume = csub.add_parser("resume", help="resume an interrupted campaign")
+    target_args(resume)
+    common(resume, with_exec=True)
+
+    status = csub.add_parser("status", help="campaign progress and outcomes")
+    status.add_argument("target", nargs="?", default=None,
+                        help="campaign id or workload name (with --plan); "
+                             "omit to list all campaigns")
+    status.add_argument("--plan", default=None)
+    status.add_argument("--objects", default=None)
+    status.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
+    status.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    common(status)
+
+    export = csub.add_parser("export", help="dump a campaign as JSON lines")
+    target_args(export)
+    export.add_argument("--out", default="-", help="output file (default: stdout)")
+    common(export)
+
+    report = csub.add_parser("report", help="aDVF report tables (store-backed)")
+    target_args(report)
+    report.add_argument("--max-injections", type=int, default=100,
+                        help="injection budget per object when computing reports")
+    report.add_argument("--bit-stride", type=int, default=8,
+                        help="bit stride of the analysis error model")
+    report.add_argument("--refresh", action="store_true",
+                        help="recompute reports even if already stored")
+    common(report, with_exec=True)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# target resolution
+# --------------------------------------------------------------------- #
+def _objects_tuple(args) -> Optional[Sequence[str]]:
+    if getattr(args, "objects", None):
+        return tuple(part.strip() for part in args.objects.split(",") if part.strip())
+    return None
+
+
+def _parse_plan_arg(args):
+    try:
+        return parse_plan(args.plan, objects=_objects_tuple(args))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _resolve_campaign_id(store: CampaignStore, args) -> str:
+    """TARGET → campaign id: a stored id verbatim, or workload + --plan."""
+    target = args.target
+    if target and store.has_campaign(target):
+        return target
+    if target is None:
+        raise SystemExit("a campaign id or workload name is required")
+    try:
+        workload = validate_workload(target)
+    except KeyError as exc:
+        raise SystemExit(
+            f"{target!r} is neither a campaign id in {store.path!r} nor a "
+            f"known workload: {exc}"
+        ) from None
+    if not args.plan:
+        raise SystemExit(
+            f"TARGET {target!r} is a workload name; pass --plan to identify "
+            "the campaign (ids are derived from workload + plan)"
+        )
+    plan = _parse_plan_arg(args)
+    kwargs = _parse_set(args.set)
+    campaign_id = compute_campaign_id(
+        workload, kwargs, plan.to_dict(), args.shard_size
+    )
+    if not store.has_campaign(campaign_id):
+        raise SystemExit(
+            f"no campaign for workload {workload!r} with plan {args.plan!r} "
+            f"in {store.path!r} (expected id {campaign_id})"
+        )
+    return campaign_id
+
+
+def _open_store(args) -> CampaignStore:
+    path = args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+    return CampaignStore(path)
+
+
+def _print_result(store: CampaignStore, result) -> None:
+    print(
+        f"campaign {result.campaign_id}: {result.status} "
+        f"(run {result.run_id}: executed {result.executed_shards} shards / "
+        f"{result.executed_injections} injections, skipped "
+        f"{result.skipped_shards} already-persisted shards)"
+    )
+    if result.histograms:
+        print()
+        print(format_outcome_table(result.histograms))
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_run(args) -> int:
+    with _open_store(args) as store:
+        plan = _parse_plan_arg(args)
+        orchestrator = CampaignOrchestrator(
+            store,
+            args.workload,
+            workload_kwargs=_parse_set(args.set),
+            plan=plan,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        result = orchestrator.run(max_shards=args.max_shards)
+        _print_result(store, result)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    with _open_store(args) as store:
+        campaign_id = _resolve_campaign_id(store, args)
+        orchestrator = CampaignOrchestrator.from_store(
+            store,
+            campaign_id,
+            workers=args.workers,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        result = orchestrator.run(max_shards=args.max_shards)
+        _print_result(store, result)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    with _open_store(args) as store:
+        if args.target is None:
+            rows = []
+            for record in store.campaigns():
+                status = store.status(record.campaign_id)
+                plan = plan_from_dict(record.plan)
+                rows.append(
+                    {
+                        "campaign_id": record.campaign_id,
+                        "workload": record.workload,
+                        "plan": plan.describe(),
+                        "status": record.status,
+                        "shards": status.shards_done,
+                        "injections": status.injections_done,
+                    }
+                )
+            if not rows:
+                print(f"no campaigns in {store.path!r}")
+            else:
+                print(format_campaign_list(rows))
+            return 0
+        campaign_id = _resolve_campaign_id(store, args)
+        status = store.status(campaign_id)
+        record = status.record
+        plan = plan_from_dict(record.plan)
+        print(f"campaign   : {campaign_id}")
+        print(f"workload   : {record.workload} {record.workload_kwargs or ''}".rstrip())
+        print(f"plan       : {plan.describe()}")
+        print(f"status     : {record.status}")
+        print(f"shards done: {status.shards_done} ({status.injections_done} injections)")
+        for run_id, executed, skipped in status.runs:
+            print(f"  run {run_id}: executed {executed} shards, skipped {skipped}")
+        if status.histograms:
+            print()
+            print(format_outcome_table(status.histograms))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    with _open_store(args) as store:
+        campaign_id = _resolve_campaign_id(store, args)
+        if args.out == "-":
+            lines = store.export_jsonl(campaign_id, sys.stdout)
+        else:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                lines = store.export_jsonl(campaign_id, fh)
+            print(f"wrote {lines} lines to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with _open_store(args) as store:
+        campaign_id = _resolve_campaign_id(store, args)
+        orchestrator = CampaignOrchestrator.from_store(
+            store,
+            campaign_id,
+            workers=args.workers,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        config = AnalysisConfig(
+            max_injections=args.max_injections,
+            error_model=SingleBitModel(bit_stride=args.bit_stride),
+            equivalence_samples=1,
+            injection_samples_per_class=1,
+        )
+        reports = orchestrator.compute_reports(config, refresh=args.refresh)
+        payloads = {name: report.to_dict() for name, report in reports.items()}
+        print(format_advf_report_table(payloads))
+        histograms = store.outcome_histograms(campaign_id)
+        if histograms:
+            print()
+            print(format_outcome_table(histograms))
+    return 0
+
+
+def _cmd_workloads() -> int:
+    rows = workload_summaries()
+    print(
+        format_table(
+            ["name", "description", "target objects"],
+            [
+                [row["name"], row["description"], ", ".join(row["target_objects"])]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "workloads":
+            return _cmd_workloads()
+        action = {
+            "run": _cmd_run,
+            "resume": _cmd_resume,
+            "status": _cmd_status,
+            "export": _cmd_export,
+            "report": _cmd_report,
+        }[args.action]
+        return action(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Campaign statistics: Wilson score intervals for masking-rate estimates.
+
+Random fault-injection campaigns estimate a binomial proportion (the
+masking / success rate of a data object).  The normal-approximation
+interval used by the seed's :class:`~repro.core.rfi.RFIResult` collapses to
+zero width at p̂ ∈ {0, 1} and undercovers for small samples — exactly the
+regimes adaptive campaigns operate in while deciding whether to keep
+sampling.  The Wilson score interval (Wilson 1927) is well-behaved there,
+which is why :class:`~repro.campaigns.plans.AdaptivePlan` drives its
+stopping rule off :func:`wilson_interval` rather than the Wald margin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: Two-sided z-scores for common confidence levels.
+Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided z-score for a supported confidence level."""
+    try:
+        return Z_SCORES[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence level {confidence}; "
+            f"choose from {sorted(Z_SCORES)}"
+        ) from None
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Returns ``(low, high)`` with ``0 <= low <= high <= 1``.  With zero
+    trials nothing is known and the vacuous interval ``(0.0, 1.0)`` is
+    returned.
+
+    ``center = (p̂ + z²/2n) / (1 + z²/n)``
+    ``half   = z·sqrt(p̂(1-p̂)/n + z²/4n²) / (1 + z²/n)``
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must lie in [0, trials]; got {successes}/{trials}"
+        )
+    if z <= 0:
+        raise ValueError("z must be positive")
+    if trials == 0:
+        return (0.0, 1.0)
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def wilson_half_width(successes: int, trials: int, z: float = 1.96) -> float:
+    """Half the width of :func:`wilson_interval` (the campaign's precision)."""
+    low, high = wilson_interval(successes, trials, z)
+    return (high - low) / 2.0
+
+
+def fixed_sample_size_for_half_width(half_width: float, z: float = 1.96) -> int:
+    """Tests a *fixed-count* plan must commit to for the same precision.
+
+    A fixed plan has to size for the worst case p = 0.5 before seeing any
+    outcome: ``n = z²·p(1-p)/h²``.  An adaptive plan stops as soon as the
+    observed interval is narrow enough, which at skewed masking rates (the
+    common case — most objects mask well above or below 50%) needs fewer
+    injections.  This is the baseline :mod:`benchmarks.bench_campaign`
+    compares :class:`~repro.campaigns.plans.AdaptivePlan` against.
+    """
+    if half_width <= 0:
+        raise ValueError("half_width must be positive")
+    return max(1, int(math.ceil(z * z * 0.25 / (half_width * half_width))))

@@ -1,0 +1,567 @@
+"""Append-only SQLite persistence for fault-injection campaigns.
+
+The :class:`CampaignStore` is the durable half of the campaign subsystem:
+per-spec injection outcomes, per-shard completion records, orchestrator
+run bookkeeping and per-object aDVF reports all land here, in one SQLite
+file that survives interrupts, crashes and machine restarts.
+
+Design points:
+
+* **Content-addressed campaigns.**  A campaign's identity is the SHA-256
+  of its canonical JSON description (workload name + constructor kwargs +
+  plan + shard size), so re-running the same command resumes the existing
+  campaign instead of duplicating work.
+* **Append-only writes.**  A shard's outcomes and its completion row are
+  committed in a single transaction, and existing rows are never updated
+  (campaign ``status`` is the one mutable column).  A crash mid-shard
+  leaves no partial shard behind — resume re-executes it from scratch.
+* **Run accounting.**  Every orchestrator invocation registers a run;
+  shards record which run executed them, so tests (and operators) can
+  verify a resume re-executed only the unfinished shards.
+* **Schema versioning.**  The schema version is stamped into the file on
+  creation and checked on open; a mismatch raises
+  :class:`StoreVersionError` instead of silently misreading rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.core.acceptance import OutcomeClass
+from repro.core.advf import ObjectReport
+from repro.core.injector import FaultInjectionResult
+from repro.vm.faults import FaultSpec, FaultTarget
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id     TEXT PRIMARY KEY,
+    workload        TEXT NOT NULL,
+    workload_kwargs TEXT NOT NULL,
+    plan            TEXT NOT NULL,
+    shard_size      INTEGER NOT NULL,
+    created_at      REAL NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'running'
+);
+CREATE TABLE IF NOT EXISTS runs (
+    campaign_id TEXT NOT NULL,
+    run_id      INTEGER NOT NULL,
+    started_at  REAL NOT NULL,
+    executed    INTEGER NOT NULL DEFAULT 0,
+    skipped     INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (campaign_id, run_id)
+);
+CREATE TABLE IF NOT EXISTS shards (
+    campaign_id TEXT NOT NULL,
+    shard_index INTEGER NOT NULL,
+    object_name TEXT NOT NULL,
+    batch       INTEGER NOT NULL,
+    run_id      INTEGER NOT NULL,
+    spec_count  INTEGER NOT NULL,
+    duration_s  REAL NOT NULL,
+    recorded_at REAL NOT NULL,
+    PRIMARY KEY (campaign_id, shard_index)
+);
+CREATE TABLE IF NOT EXISTS outcomes (
+    campaign_id   TEXT NOT NULL,
+    shard_index   INTEGER NOT NULL,
+    seq           INTEGER NOT NULL,
+    object_name   TEXT NOT NULL,
+    dynamic_id    INTEGER NOT NULL,
+    bit           INTEGER NOT NULL,
+    target        TEXT NOT NULL,
+    operand_index INTEGER NOT NULL,
+    note          TEXT NOT NULL DEFAULT '',
+    outcome       TEXT NOT NULL,
+    detail        TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (campaign_id, shard_index, seq)
+);
+CREATE INDEX IF NOT EXISTS idx_outcomes_object
+    ON outcomes (campaign_id, object_name);
+CREATE TABLE IF NOT EXISTS reports (
+    campaign_id TEXT NOT NULL,
+    object_name TEXT NOT NULL,
+    report      TEXT NOT NULL,
+    recorded_at REAL NOT NULL,
+    PRIMARY KEY (campaign_id, object_name)
+);
+"""
+
+
+class StoreVersionError(RuntimeError):
+    """The store file was written by an incompatible schema version."""
+
+
+def _canonical_json(value: object) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def compute_campaign_id(
+    workload: str,
+    workload_kwargs: Dict[str, object],
+    plan: Dict[str, object],
+    shard_size: int,
+) -> str:
+    """Content-addressed campaign identifier.
+
+    Two campaigns with the same workload, constructor kwargs, plan and
+    shard partitioning are the same campaign — re-running dedupes into a
+    resume.  (Timestamps and store location deliberately do not
+    participate.)
+    """
+    payload = _canonical_json(
+        {
+            "workload": workload,
+            "workload_kwargs": workload_kwargs,
+            "plan": plan,
+            "shard_size": shard_size,
+        }
+    )
+    return "c" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One row of the ``campaigns`` table, with JSON columns decoded."""
+
+    campaign_id: str
+    workload: str
+    workload_kwargs: Dict[str, object]
+    plan: Dict[str, object]
+    shard_size: int
+    created_at: float
+    status: str
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One completed shard."""
+
+    shard_index: int
+    object_name: str
+    batch: int
+    run_id: int
+    spec_count: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class StoredOutcome:
+    """One persisted injection outcome (spec + classification)."""
+
+    shard_index: int
+    seq: int
+    object_name: str
+    spec: FaultSpec
+    outcome: OutcomeClass
+    detail: str
+
+    def to_result(self) -> FaultInjectionResult:
+        return FaultInjectionResult(
+            spec=self.spec, outcome=self.outcome, detail=self.detail
+        )
+
+
+@dataclass
+class CampaignStatus:
+    """Aggregate progress view of one campaign."""
+
+    record: CampaignRecord
+    shards_done: int
+    injections_done: int
+    runs: List[Tuple[int, int, int]] = field(default_factory=list)
+    histograms: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+class CampaignStore:
+    """Append-only SQLite store for campaign results.
+
+    ``path`` may be a filesystem path or ``":memory:"`` (tests).  The
+    store is safe to reopen concurrently with readers; writers serialise
+    through SQLite's own locking.
+    """
+
+    def __init__(self, path: Union[str, Path] = "campaigns.sqlite") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._init_schema()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif int(row[0]) != SCHEMA_VERSION:
+                raise StoreVersionError(
+                    f"store {self.path!r} has schema version {row[0]}, "
+                    f"this build expects {SCHEMA_VERSION}"
+                )
+
+    @property
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # campaigns
+    # ------------------------------------------------------------------ #
+    def ensure_campaign(
+        self,
+        workload: str,
+        workload_kwargs: Dict[str, object],
+        plan: Dict[str, object],
+        shard_size: int,
+    ) -> str:
+        """Create the campaign row if absent; return its (stable) id."""
+        campaign_id = compute_campaign_id(workload, workload_kwargs, plan, shard_size)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO campaigns "
+                "(campaign_id, workload, workload_kwargs, plan, shard_size, "
+                " created_at, status) VALUES (?, ?, ?, ?, ?, ?, 'running')",
+                (
+                    campaign_id,
+                    workload,
+                    _canonical_json(workload_kwargs),
+                    _canonical_json(plan),
+                    shard_size,
+                    time.time(),
+                ),
+            )
+        return campaign_id
+
+    def campaign(self, campaign_id: str) -> CampaignRecord:
+        row = self._conn.execute(
+            "SELECT campaign_id, workload, workload_kwargs, plan, shard_size, "
+            "created_at, status FROM campaigns WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no campaign {campaign_id!r} in {self.path!r}")
+        return CampaignRecord(
+            campaign_id=row[0],
+            workload=row[1],
+            workload_kwargs=json.loads(row[2]),
+            plan=json.loads(row[3]),
+            shard_size=row[4],
+            created_at=row[5],
+            status=row[6],
+        )
+
+    def has_campaign(self, campaign_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM campaigns WHERE campaign_id = ?", (campaign_id,)
+        ).fetchone()
+        return row is not None
+
+    def campaigns(self) -> List[CampaignRecord]:
+        ids = [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT campaign_id FROM campaigns ORDER BY created_at"
+            )
+        ]
+        return [self.campaign(campaign_id) for campaign_id in ids]
+
+    def set_status(self, campaign_id: str, status: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE campaigns SET status = ? WHERE campaign_id = ?",
+                (status, campaign_id),
+            )
+
+    # ------------------------------------------------------------------ #
+    # runs
+    # ------------------------------------------------------------------ #
+    def begin_run(self, campaign_id: str) -> int:
+        """Register a new orchestrator run; returns its 1-based id."""
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(run_id), 0) FROM runs WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+            run_id = int(row[0]) + 1
+            self._conn.execute(
+                "INSERT INTO runs (campaign_id, run_id, started_at) VALUES (?, ?, ?)",
+                (campaign_id, run_id, time.time()),
+            )
+        return run_id
+
+    def finish_run(
+        self, campaign_id: str, run_id: int, executed: int, skipped: int
+    ) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE runs SET executed = ?, skipped = ? "
+                "WHERE campaign_id = ? AND run_id = ?",
+                (executed, skipped, campaign_id, run_id),
+            )
+
+    def run_accounting(self, campaign_id: str) -> List[Tuple[int, int, int]]:
+        """``(run_id, executed, skipped)`` per orchestrator run, in order."""
+        return [
+            (int(r), int(e), int(s))
+            for r, e, s in self._conn.execute(
+                "SELECT run_id, executed, skipped FROM runs "
+                "WHERE campaign_id = ? ORDER BY run_id",
+                (campaign_id,),
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # shards + outcomes (the append-only core)
+    # ------------------------------------------------------------------ #
+    def record_shard(
+        self,
+        campaign_id: str,
+        shard_index: int,
+        object_name: str,
+        batch: int,
+        run_id: int,
+        duration_s: float,
+        results: Sequence[FaultInjectionResult],
+    ) -> None:
+        """Persist one completed shard and all its outcomes atomically."""
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO outcomes (campaign_id, shard_index, seq, object_name, "
+                "dynamic_id, bit, target, operand_index, note, outcome, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        campaign_id,
+                        shard_index,
+                        seq,
+                        object_name,
+                        result.spec.dynamic_id,
+                        result.spec.bit,
+                        result.spec.target.value,
+                        result.spec.operand_index,
+                        result.spec.note,
+                        result.outcome.value,
+                        result.detail,
+                    )
+                    for seq, result in enumerate(results)
+                ],
+            )
+            self._conn.execute(
+                "INSERT INTO shards (campaign_id, shard_index, object_name, batch, "
+                "run_id, spec_count, duration_s, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    shard_index,
+                    object_name,
+                    batch,
+                    run_id,
+                    len(results),
+                    duration_s,
+                    time.time(),
+                ),
+            )
+
+    def completed_shards(self, campaign_id: str) -> Dict[int, ShardRecord]:
+        """All persisted (fully completed) shards, keyed by shard index."""
+        out: Dict[int, ShardRecord] = {}
+        for row in self._conn.execute(
+            "SELECT shard_index, object_name, batch, run_id, spec_count, duration_s "
+            "FROM shards WHERE campaign_id = ? ORDER BY shard_index",
+            (campaign_id,),
+        ):
+            record = ShardRecord(
+                shard_index=int(row[0]),
+                object_name=row[1],
+                batch=int(row[2]),
+                run_id=int(row[3]),
+                spec_count=int(row[4]),
+                duration_s=row[5],
+            )
+            out[record.shard_index] = record
+        return out
+
+    def outcomes(
+        self,
+        campaign_id: str,
+        object_name: Optional[str] = None,
+        shard_index: Optional[int] = None,
+    ) -> List[StoredOutcome]:
+        """Persisted outcomes in deterministic (shard, seq) order."""
+        query = (
+            "SELECT shard_index, seq, object_name, dynamic_id, bit, target, "
+            "operand_index, note, outcome, detail FROM outcomes WHERE campaign_id = ?"
+        )
+        params: List[object] = [campaign_id]
+        if object_name is not None:
+            query += " AND object_name = ?"
+            params.append(object_name)
+        if shard_index is not None:
+            query += " AND shard_index = ?"
+            params.append(shard_index)
+        query += " ORDER BY shard_index, seq"
+        out: List[StoredOutcome] = []
+        for row in self._conn.execute(query, params):
+            spec = FaultSpec(
+                dynamic_id=int(row[3]),
+                bit=int(row[4]),
+                target=FaultTarget(row[5]),
+                operand_index=int(row[6]),
+                note=row[7],
+            )
+            out.append(
+                StoredOutcome(
+                    shard_index=int(row[0]),
+                    seq=int(row[1]),
+                    object_name=row[2],
+                    spec=spec,
+                    outcome=OutcomeClass(row[8]),
+                    detail=row[9],
+                )
+            )
+        return out
+
+    def outcome_histograms(self, campaign_id: str) -> Dict[str, Dict[str, int]]:
+        """Per-object outcome-class counts (rendered by the reporting layer)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for obj, outcome, count in self._conn.execute(
+            "SELECT object_name, outcome, COUNT(*) FROM outcomes "
+            "WHERE campaign_id = ? GROUP BY object_name, outcome",
+            (campaign_id,),
+        ):
+            out.setdefault(obj, {})[outcome] = int(count)
+        return out
+
+    def object_tallies(self, campaign_id: str) -> Dict[str, Tuple[int, int]]:
+        """Per-object ``(successes, trials)`` for CI computation."""
+        tallies: Dict[str, Tuple[int, int]] = {}
+        for obj, hist in self.outcome_histograms(campaign_id).items():
+            trials = sum(hist.values())
+            successes = sum(
+                count
+                for outcome, count in hist.items()
+                if OutcomeClass(outcome).is_success
+            )
+            tallies[obj] = (successes, trials)
+        return tallies
+
+    # ------------------------------------------------------------------ #
+    # aDVF reports
+    # ------------------------------------------------------------------ #
+    def save_report(
+        self, campaign_id: str, object_name: str, report: ObjectReport
+    ) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO reports "
+                "(campaign_id, object_name, report, recorded_at) VALUES (?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    object_name,
+                    _canonical_json(report.to_dict()),
+                    time.time(),
+                ),
+            )
+
+    def reports(self, campaign_id: str) -> Dict[str, ObjectReport]:
+        return {
+            row[0]: ObjectReport.from_dict(json.loads(row[1]))
+            for row in self._conn.execute(
+                "SELECT object_name, report FROM reports "
+                "WHERE campaign_id = ? ORDER BY object_name",
+                (campaign_id,),
+            )
+        }
+
+    # ------------------------------------------------------------------ #
+    # aggregate views + export
+    # ------------------------------------------------------------------ #
+    def status(self, campaign_id: str) -> CampaignStatus:
+        record = self.campaign(campaign_id)
+        shards = self.completed_shards(campaign_id)
+        return CampaignStatus(
+            record=record,
+            shards_done=len(shards),
+            injections_done=sum(s.spec_count for s in shards.values()),
+            runs=self.run_accounting(campaign_id),
+            histograms=self.outcome_histograms(campaign_id),
+        )
+
+    def export_jsonl(self, campaign_id: str, fh: IO[str]) -> int:
+        """Write the campaign as JSON lines; returns the line count.
+
+        Line types: one ``campaign`` header, one ``shard`` per completed
+        shard, one ``outcome`` per injection, one ``report`` per stored
+        aDVF report — a self-contained, diff-able dump of the campaign.
+        """
+        record = self.campaign(campaign_id)
+        lines = 0
+
+        def emit(payload: Dict[str, object]) -> None:
+            nonlocal lines
+            fh.write(_canonical_json(payload) + "\n")
+            lines += 1
+
+        emit(
+            {
+                "type": "campaign",
+                "campaign_id": record.campaign_id,
+                "workload": record.workload,
+                "workload_kwargs": record.workload_kwargs,
+                "plan": record.plan,
+                "shard_size": record.shard_size,
+                "status": record.status,
+                "schema_version": self.schema_version,
+            }
+        )
+        for shard in self.completed_shards(campaign_id).values():
+            emit(
+                {
+                    "type": "shard",
+                    "shard_index": shard.shard_index,
+                    "object": shard.object_name,
+                    "batch": shard.batch,
+                    "run_id": shard.run_id,
+                    "spec_count": shard.spec_count,
+                    "duration_s": shard.duration_s,
+                }
+            )
+        for outcome in self.outcomes(campaign_id):
+            payload = {"type": "outcome", "object": outcome.object_name}
+            payload.update(outcome.to_result().to_row())
+            payload["shard_index"] = outcome.shard_index
+            payload["seq"] = outcome.seq
+            emit(payload)
+        for object_name, report in self.reports(campaign_id).items():
+            emit({"type": "report", "object": object_name, "report": report.to_dict()})
+        return lines

@@ -108,6 +108,35 @@ class AdvfResult:
             return 0.0
         return self.by_category.get(category, 0.0) / self.participations
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (enum keys become their string values)."""
+        return {
+            "object_name": self.object_name,
+            "value": self.value,
+            "participations": self.participations,
+            "masked_events": self.masked_events,
+            "by_level": {level.value: v for level, v in self.by_level.items()},
+            "by_category": {cat.value: v for cat, v in self.by_category.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AdvfResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            object_name=str(payload["object_name"]),
+            value=float(payload["value"]),
+            participations=int(payload["participations"]),
+            masked_events=float(payload["masked_events"]),
+            by_level={
+                MaskingLevel(k): float(v)
+                for k, v in dict(payload.get("by_level", {})).items()
+            },
+            by_category={
+                MaskingCategory(k): float(v)
+                for k, v in dict(payload.get("by_category", {})).items()
+            },
+        )
+
 
 @dataclass
 class ObjectReport:
@@ -124,6 +153,36 @@ class ObjectReport:
     @property
     def advf(self) -> float:
         return self.result.value
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form stored in campaign-store report rows."""
+        return {
+            "result": self.result.to_dict(),
+            "injections": self.injections,
+            "injection_outcomes": {
+                outcome.value: n for outcome, n in self.injection_outcomes.items()
+            },
+            "propagation_checks": self.propagation_checks,
+            "unresolved": self.unresolved,
+            "analyses_performed": self.analyses_performed,
+            "analyses_reused": self.analyses_reused,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ObjectReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            result=AdvfResult.from_dict(dict(payload["result"])),
+            injections=int(payload["injections"]),
+            injection_outcomes={
+                OutcomeClass(k): int(v)
+                for k, v in dict(payload.get("injection_outcomes", {})).items()
+            },
+            propagation_checks=int(payload["propagation_checks"]),
+            unresolved=int(payload["unresolved"]),
+            analyses_performed=int(payload["analyses_performed"]),
+            analyses_reused=int(payload["analyses_reused"]),
+        )
 
 
 @dataclass

@@ -52,6 +52,22 @@ class FaultInjectionResult:
     def masked(self) -> bool:
         return self.outcome.is_masked
 
+    def to_row(self) -> Dict[str, object]:
+        """Flat-dict form matching the campaign store's outcome columns."""
+        row = self.spec.to_dict()
+        row["outcome"] = self.outcome.value
+        row["detail"] = self.detail
+        return row
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "FaultInjectionResult":
+        """Inverse of :meth:`to_row`."""
+        return cls(
+            spec=FaultSpec.from_dict(row),
+            outcome=OutcomeClass(row["outcome"]),
+            detail=str(row.get("detail", "")),
+        )
+
 
 class DeterministicFaultInjector:
     """Run a workload with single, precisely-placed bit flips."""

@@ -26,8 +26,16 @@ if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
     from repro.workloads.base import Workload
 
 
-#: Two-sided z-scores for the confidence levels used in the paper.
-_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+def _z(confidence: float) -> float:
+    """Two-sided z-score for a confidence level.
+
+    Delegates to :func:`repro.campaigns.stats.z_for_confidence` — the one
+    canonical z-table — via a deferred import so ``repro.core`` does not
+    pull the campaigns package in at import time.
+    """
+    from repro.campaigns.stats import z_for_confidence
+
+    return z_for_confidence(confidence)
 
 
 def required_sample_size(
@@ -42,12 +50,7 @@ def required_sample_size(
     """
     if population <= 0:
         return 0
-    try:
-        z = _Z_SCORES[round(confidence, 2)]
-    except KeyError:
-        raise ValueError(
-            f"unsupported confidence level {confidence}; choose from {sorted(_Z_SCORES)}"
-        ) from None
+    z = _z(confidence)
     numerator = population
     denominator = 1.0 + (error_margin**2) * (population - 1) / (z**2 * p * (1.0 - p))
     return max(1, int(math.ceil(numerator / denominator)))
@@ -73,7 +76,7 @@ class RFIResult:
         """Binomial margin of error at :attr:`confidence`."""
         if self.tests == 0:
             return 0.0
-        z = _Z_SCORES[round(self.confidence, 2)]
+        z = _z(self.confidence)
         p = self.success_rate
         return z * math.sqrt(max(p * (1.0 - p), 1e-12) / self.tests)
 

@@ -16,6 +16,7 @@ Public API
 """
 
 from repro.parallel.campaign import (
+    CampaignChunkError,
     CampaignRunner,
     analyze_objects_parallel,
     run_injections_parallel,
@@ -23,6 +24,7 @@ from repro.parallel.campaign import (
 from repro.parallel.partition import chunk_evenly, interleave
 
 __all__ = [
+    "CampaignChunkError",
     "CampaignRunner",
     "analyze_objects_parallel",
     "run_injections_parallel",

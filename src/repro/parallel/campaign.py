@@ -10,9 +10,9 @@ deterministically so parallel results equal sequential ones.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.acceptance import OutcomeClass
 from repro.core.advf import AnalysisConfig, ObjectReport
@@ -20,26 +20,96 @@ from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.parallel.partition import chunk_evenly
 from repro.vm.faults import FaultSpec
 
+#: Called after each worker chunk completes with ``(chunks_done, chunks_total)``.
+ProgressCallback = Callable[[int, int], None]
+
 
 def _default_workers() -> int:
+    """Worker-count default: ``REPRO_WORKERS`` env var, else cores - 1.
+
+    The environment variable wins wherever no explicit ``workers=`` override
+    is passed, so batch jobs can size campaigns without touching call sites;
+    without it the pool leaves one core free for the coordinating process
+    (capped at 8 — injection chunks saturate memory bandwidth well before
+    that on typical laptops).
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+        return workers
     return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+class CampaignChunkError(RuntimeError):
+    """A worker chunk failed, with enough context to reproduce it.
+
+    Wraps the worker's original exception (available as ``__cause__``)
+    instead of letting a bare ``future.result()`` traceback escape with no
+    hint of which workload/chunk/specs were being processed.
+    """
+
+    def __init__(
+        self,
+        workload_name: str,
+        chunk_index: int,
+        items: Sequence[object],
+        cause: BaseException,
+    ) -> None:
+        self.workload_name = workload_name
+        self.chunk_index = chunk_index
+        self.items = list(items)
+        first = self.items[0] if self.items else None
+        last = self.items[-1] if self.items else None
+        super().__init__(
+            f"campaign chunk {chunk_index} of workload {workload_name!r} failed "
+            f"({len(self.items)} items, first={first!r}, last={last!r}): "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 # --------------------------------------------------------------------- #
 # worker entry points (module-level so they are picklable)
 # --------------------------------------------------------------------- #
+#: Per-worker-process injector cache, keyed by (workload name, kwargs JSON).
+#: A persistent pool (``keep_pool=True``) submits many chunks of the same
+#: workload to the same processes; caching keeps the golden run and the
+#: checkpoint schedule alive across chunks instead of rebuilding them per
+#: submission.
+_WORKER_INJECTORS: Dict[Tuple[str, str], DeterministicFaultInjector] = {}
+
+
+def _worker_injector(
+    workload_name: str, workload_kwargs: Dict[str, object]
+) -> DeterministicFaultInjector:
+    import json
+
+    key = (workload_name, json.dumps(workload_kwargs, sort_keys=True, default=repr))
+    injector = _WORKER_INJECTORS.get(key)
+    if injector is None:
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload(workload_name, **workload_kwargs)
+        injector = DeterministicFaultInjector(workload)
+        _WORKER_INJECTORS[key] = injector
+    return injector
+
+
 def _inject_chunk(
     workload_name: str,
     workload_kwargs: Dict[str, object],
     specs: List[FaultSpec],
 ) -> List[Tuple[FaultSpec, str, str]]:
-    from repro.workloads.registry import get_workload
-
-    workload = get_workload(workload_name, **workload_kwargs)
-    # One injector per worker chunk: the golden run and the checkpoint
-    # schedule are computed once here and every spec in the chunk replays
-    # against the shared snapshots.
-    injector = DeterministicFaultInjector(workload)
+    # One injector per (worker process, workload): the golden run and the
+    # checkpoint schedule are computed once and every spec replays against
+    # the shared snapshots.
+    injector = _worker_injector(workload_name, workload_kwargs)
     results = []
     for spec in specs:
         outcome = injector.inject(spec)
@@ -80,28 +150,115 @@ class CampaignRunner:
     workload_name: str
     workload_kwargs: Dict[str, object] = field(default_factory=dict)
     workers: int = field(default_factory=_default_workers)
+    #: Keep one ProcessPoolExecutor alive across calls (close() releases it).
+    #: Long campaigns — e.g. orchestrated shards — reuse worker processes
+    #: and their cached injectors instead of respawning a pool per call.
+    keep_pool: bool = False
+    _pool: Optional[ProcessPoolExecutor] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def run_injections(self, specs: Sequence[FaultSpec]) -> List[FaultInjectionResult]:
-        """Inject every spec, preserving input order in the result list."""
+    def run_injections(
+        self,
+        specs: Sequence[FaultSpec],
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> List[FaultInjectionResult]:
+        """Inject every spec, preserving input order in the result list.
+
+        ``on_progress`` (if given) is called with ``(chunks_done,
+        chunks_total)`` as worker chunks complete, so long campaigns —
+        e.g. orchestrated shards — can surface progress.  Worker failures
+        raise :class:`CampaignChunkError` naming the failing chunk and its
+        spec range, with the original exception chained as ``__cause__``.
+        """
         specs = list(specs)
         if not specs:
             return []
         if self.workers <= 1 or len(specs) < 4:
-            return _wrap(_inject_chunk(self.workload_name, self.workload_kwargs, specs))
-        chunks = chunk_evenly(specs, self.workers)
+            try:
+                raw = _inject_chunk(self.workload_name, self.workload_kwargs, specs)
+            except Exception as exc:
+                raise CampaignChunkError(self.workload_name, 0, specs, exc) from exc
+            if on_progress is not None:
+                on_progress(1, 1)
+            return _wrap(raw)
+        chunks = [c for c in chunk_evenly(specs, self.workers) if c]
+        per_chunk = self._collect(
+            _inject_chunk,
+            [(self.workload_name, self.workload_kwargs, chunk) for chunk in chunks],
+            chunks,
+            on_progress,
+        )
         results: List[FaultInjectionResult] = []
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(_inject_chunk, self.workload_name, self.workload_kwargs, chunk)
-                for chunk in chunks
-                if chunk
-            ]
-            for future in futures:
-                results.extend(_wrap(future.result()))
+        for raw in per_chunk:
+            results.extend(_wrap(raw))
         return results
 
+    def _collect(
+        self,
+        fn: Callable,
+        argument_tuples: Sequence[Tuple],
+        chunk_items: Sequence[Sequence[object]],
+        on_progress: Optional[ProgressCallback],
+    ) -> List[object]:
+        """Fan ``fn(*args)`` out over the pool; return results in chunk order.
+
+        Completion is observed as it happens (for progress callbacks) while
+        results are reassembled by chunk index so parallel output stays
+        deterministic.
+        """
+        total = len(argument_tuples)
+        slots: List[object] = [None] * total
+        pool = self._acquire_pool()
+        try:
+            future_index = {
+                pool.submit(fn, *args): index
+                for index, args in enumerate(argument_tuples)
+            }
+            done = 0
+            pending = set(future_index)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = future_index[future]
+                    try:
+                        slots[index] = future.result()
+                    except Exception as exc:
+                        raise CampaignChunkError(
+                            self.workload_name, index, chunk_items[index], exc
+                        ) from exc
+                    done += 1
+                    if on_progress is not None:
+                        on_progress(done, total)
+        finally:
+            if not self.keep_pool:
+                pool.shutdown()
+        return slots
+
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        if not self.keep_pool:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent pool (no-op unless ``keep_pool=True``)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def analyze_objects(
-        self, object_names: Sequence[str], config: Optional[AnalysisConfig] = None
+        self,
+        object_names: Sequence[str],
+        config: Optional[AnalysisConfig] = None,
+        on_progress: Optional[ProgressCallback] = None,
     ) -> Dict[str, ObjectReport]:
         """aDVF analyses fanned out as one object *chunk* per worker.
 
@@ -115,28 +272,31 @@ class CampaignRunner:
         if not names:
             return {}
         if self.workers <= 1 or len(names) == 1:
-            return dict(
-                _analyze_objects_chunk(
+            try:
+                pairs = _analyze_objects_chunk(
                     self.workload_name, self.workload_kwargs, names, config
                 )
-            )
-        out: Dict[str, ObjectReport] = {}
-        chunks = chunk_evenly(names, min(self.workers, len(names)))
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(names))) as pool:
-            futures = [
-                pool.submit(
-                    _analyze_objects_chunk,
-                    self.workload_name,
-                    self.workload_kwargs,
-                    chunk,
-                    config,
-                )
+            except Exception as exc:
+                raise CampaignChunkError(self.workload_name, 0, names, exc) from exc
+            if on_progress is not None:
+                on_progress(1, 1)
+            return dict(pairs)
+        chunks = [
+            c for c in chunk_evenly(names, min(self.workers, len(names))) if c
+        ]
+        per_chunk = self._collect(
+            _analyze_objects_chunk,
+            [
+                (self.workload_name, self.workload_kwargs, chunk, config)
                 for chunk in chunks
-                if chunk
-            ]
-            for future in futures:
-                for name, report in future.result():
-                    out[name] = report
+            ],
+            chunks,
+            on_progress,
+        )
+        out: Dict[str, ObjectReport] = {}
+        for pairs in per_chunk:
+            for name, report in pairs:
+                out[name] = report
         return out
 
 

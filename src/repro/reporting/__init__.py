@@ -4,12 +4,21 @@ Public API
 ----------
 :func:`~repro.reporting.tables.format_table`,
 :func:`~repro.reporting.tables.table1_rows`,
+:func:`~repro.reporting.tables.format_outcome_table`,
+:func:`~repro.reporting.tables.format_advf_report_table`,
+:func:`~repro.reporting.tables.format_campaign_list`,
 :func:`~repro.reporting.figures.stacked_bar_chart`,
 :func:`~repro.reporting.figures.advf_level_breakdown_rows`,
 :func:`~repro.reporting.figures.advf_category_breakdown_rows`.
 """
 
-from repro.reporting.tables import format_table, table1_rows
+from repro.reporting.tables import (
+    format_advf_report_table,
+    format_campaign_list,
+    format_outcome_table,
+    format_table,
+    table1_rows,
+)
 from repro.reporting.figures import (
     advf_category_breakdown_rows,
     advf_level_breakdown_rows,
@@ -20,6 +29,9 @@ from repro.reporting.figures import (
 __all__ = [
     "format_table",
     "table1_rows",
+    "format_outcome_table",
+    "format_advf_report_table",
+    "format_campaign_list",
     "advf_category_breakdown_rows",
     "advf_level_breakdown_rows",
     "bar_chart",

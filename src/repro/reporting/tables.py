@@ -1,8 +1,15 @@
-"""Plain-text tables (Table I and generic result tables)."""
+"""Plain-text tables (Table I, generic result tables, campaign views).
+
+The campaign-facing formatters at the bottom render from the *persisted*
+representation of results — plain outcome histograms and
+``ObjectReport``-shaped dicts as returned by the campaign store — rather
+than from live in-memory analysis objects, so ``python -m repro campaign
+status|report`` can reconstruct every table from the SQLite file alone.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -46,4 +53,104 @@ def format_table1() -> str:
             ]
             for row in rows
         ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# campaign-store views
+# --------------------------------------------------------------------- #
+#: Column order for outcome-class histograms (matches OutcomeClass values).
+OUTCOME_COLUMNS: Tuple[str, ...] = (
+    "identical",
+    "acceptable",
+    "unacceptable",
+    "crash",
+    "hang",
+)
+
+#: Outcome classes counted as masked/successful by campaigns.
+_SUCCESS_OUTCOMES = frozenset({"identical", "acceptable"})
+
+
+def format_outcome_table(
+    histograms: Dict[str, Dict[str, int]], z: float = 1.96
+) -> str:
+    """Per-object outcome histogram with a Wilson CI on the masking rate.
+
+    ``histograms`` maps object name to ``{outcome_class_value: count}`` —
+    exactly what :meth:`repro.campaigns.store.CampaignStore.outcome_histograms`
+    returns.
+    """
+    from repro.campaigns.stats import wilson_interval
+
+    rows = []
+    for object_name in sorted(histograms):
+        hist = histograms[object_name]
+        trials = sum(hist.values())
+        successes = sum(
+            count for outcome, count in hist.items() if outcome in _SUCCESS_OUTCOMES
+        )
+        low, high = wilson_interval(successes, trials, z)
+        rate = successes / trials if trials else 0.0
+        rows.append(
+            [object_name, trials]
+            + [hist.get(column, 0) for column in OUTCOME_COLUMNS]
+            + [f"{rate:.3f}", f"[{low:.3f}, {high:.3f}]"]
+        )
+    return format_table(
+        ["object", "tests", *OUTCOME_COLUMNS, "masked", "wilson CI"], rows
+    )
+
+
+def format_advf_report_table(reports: Dict[str, Dict[str, object]]) -> str:
+    """aDVF summary table from persisted ``ObjectReport.to_dict()`` payloads.
+
+    Objects are ordered from most to least resilient (highest aDVF first),
+    reproducing the ranking view of the paper's evaluation.
+    """
+    def advf_of(payload: Dict[str, object]) -> float:
+        return float(payload["result"]["value"])  # type: ignore[index]
+
+    rows = []
+    for object_name in sorted(reports, key=lambda n: advf_of(reports[n]), reverse=True):
+        payload = reports[object_name]
+        result = payload["result"]
+        rows.append(
+            [
+                object_name,
+                f"{float(result['value']):.4f}",  # type: ignore[index]
+                result["participations"],  # type: ignore[index]
+                payload.get("injections", 0),
+                payload.get("propagation_checks", 0),
+                payload.get("unresolved", 0),
+            ]
+        )
+    return format_table(
+        ["object", "aDVF", "participations", "injections", "propagation", "unresolved"],
+        rows,
+    )
+
+
+def format_campaign_list(
+    rows: Sequence[Dict[str, object]], limit: Optional[int] = None
+) -> str:
+    """Campaign overview table for ``python -m repro campaign status``.
+
+    Each row is a flat dict with ``campaign_id``, ``workload``, ``plan``,
+    ``status``, ``shards``, ``injections`` keys (assembled by the CLI from
+    store records).
+    """
+    rendered = [
+        [
+            row["campaign_id"],
+            row["workload"],
+            row["plan"],
+            row["status"],
+            row["shards"],
+            row["injections"],
+        ]
+        for row in (rows if limit is None else rows[:limit])
+    ]
+    return format_table(
+        ["campaign", "workload", "plan", "status", "shards", "injections"], rendered
     )

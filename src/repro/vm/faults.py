@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 
 class FaultTarget(enum.Enum):
@@ -58,6 +58,27 @@ class FaultSpec:
             raise ValueError("bit must be non-negative")
         if self.target is FaultTarget.OPERAND and self.operand_index < 0:
             raise ValueError("operand_index must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the campaign store and JSONL exports."""
+        return {
+            "dynamic_id": self.dynamic_id,
+            "bit": self.bit,
+            "target": self.target.value,
+            "operand_index": self.operand_index,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            dynamic_id=int(payload["dynamic_id"]),
+            bit=int(payload["bit"]),
+            target=FaultTarget(payload.get("target", FaultTarget.OPERAND.value)),
+            operand_index=int(payload.get("operand_index", 0)),
+            note=str(payload.get("note", "")),
+        )
 
     def describe(self) -> str:
         """Human-readable one-liner used in logs and reports."""

@@ -8,6 +8,7 @@ so the reporting layer can regenerate it.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, List
 
 from repro.workloads.amg import AMGWorkload
@@ -47,16 +48,40 @@ def workload_names() -> List[str]:
     return sorted(WORKLOADS)
 
 
+def validate_workload(name: str) -> str:
+    """Check ``name`` against the registry; raise a helpful error otherwise.
+
+    Used by the campaign CLI and orchestrator to fail fast (with
+    did-you-mean suggestions) before any golden run or store row is
+    created.
+    """
+    if name in WORKLOADS:
+        return name
+    suggestions = difflib.get_close_matches(name, workload_names(), n=3)
+    hint = f" (did you mean {', '.join(suggestions)}?)" if suggestions else ""
+    raise KeyError(
+        f"unknown workload {name!r}{hint}; available: {', '.join(workload_names())}"
+    )
+
+
+def workload_summaries() -> List[Dict[str, object]]:
+    """Metadata row per registered workload (for ``python -m repro workloads``).
+
+    The ``name`` column is the registry key (what the CLI accepts), which
+    for aliased factories can differ from the instance's own name.
+    """
+    rows = []
+    for name in workload_names():
+        row = get_workload(name).describe()
+        row["name"] = name
+        rows.append(row)
+    return rows
+
+
 def get_workload(name: str, **kwargs) -> Workload:
     """Instantiate a registered workload by name.
 
     Keyword arguments are forwarded to the workload constructor (problem
     sizes, ``seed``, …).
     """
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
-        ) from None
-    return factory(**kwargs)
+    return WORKLOADS[validate_workload(name)](**kwargs)

@@ -1,0 +1,129 @@
+"""CLI smoke tests: `python -m repro campaign run|resume|status|export|report`."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaigns.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _run_module(*argv, check=True):
+    """Run `python -m repro ...` in a subprocess (the real CLI entry point)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({proc.returncode}):\nstdout:\n{proc.stdout}\n"
+            f"stderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+class TestSubprocessSmoke:
+    def test_campaign_run_matmul_fixed64(self, store_path):
+        proc = _run_module(
+            "campaign", "run", "matmul", "--plan", "fixed:64",
+            "--store", store_path, "--workers", "1",
+        )
+        assert "complete" in proc.stdout
+        assert "wilson CI" in proc.stdout
+        assert os.path.exists(store_path)
+
+        # rerunning the identical command dedupes into a no-op resume
+        again = _run_module(
+            "campaign", "run", "matmul", "--plan", "fixed:64",
+            "--store", store_path, "--workers", "1",
+        )
+        assert "executed 0 shards" in again.stdout
+
+
+class TestInProcessCommands:
+    def _base(self, store_path):
+        return ["--store", store_path, "--workers", "1"]
+
+    def test_run_interrupt_resume_status_export_report(self, store_path, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:16",
+             "--shard-size", "8", "--max-shards", "1", *self._base(store_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "interrupted" in out
+
+        assert main(
+            ["campaign", "resume", "matmul", "--plan", "fixed:16",
+             "--shard-size", "8", *self._base(store_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "skipped 1" in out
+
+        assert main(["campaign", "status", "--store", store_path]) == 0
+        listing = capsys.readouterr().out
+        assert "matmul" in listing and "complete" in listing
+
+        assert main(
+            ["campaign", "status", "matmul", "--plan", "fixed:16",
+             "--shard-size", "8", "--store", store_path]
+        ) == 0
+        detail = capsys.readouterr().out
+        assert "run 1: executed 1 shards, skipped 0" in detail
+        assert "run 2: executed 1 shards, skipped 1" in detail
+
+        out_path = str(tmp_path / "dump.jsonl")
+        assert main(
+            ["campaign", "export", "matmul", "--plan", "fixed:16",
+             "--shard-size", "8", "--store", store_path, "--out", out_path]
+        ) == 0
+        with open(out_path) as fh:
+            rows = [json.loads(line) for line in fh]
+        assert rows[0]["type"] == "campaign"
+        assert sum(row["type"] == "outcome" for row in rows) == 16
+
+        assert main(
+            ["campaign", "report", "matmul", "--plan", "fixed:16",
+             "--shard-size", "8", "--max-injections", "10",
+             "--bit-stride", "16", *self._base(store_path)]
+        ) == 0
+        report = capsys.readouterr().out
+        assert "aDVF" in report
+
+    def test_status_by_campaign_id(self, store_path, capsys):
+        main(["campaign", "run", "matmul", "--plan", "fixed:8",
+              *self._base(store_path)])
+        listing_id = capsys.readouterr().out.split()[1].rstrip(":")
+        assert listing_id.startswith("c")
+        assert main(["campaign", "status", listing_id, "--store", store_path]) == 0
+        assert listing_id in capsys.readouterr().out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "lulesh" in out
+
+    def test_error_paths(self, store_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "resume", "matmul", "--store", store_path])
+        with pytest.raises(SystemExit):
+            main(["campaign", "status", "not-a-workload", "--plan", "fixed:8",
+                  "--store", store_path])
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "matmul", "--plan", "bogus:1",
+                  "--store", store_path])

@@ -1,0 +1,85 @@
+"""Exact unit tests for the Wilson interval helpers (campaigns/stats.py)."""
+
+import math
+
+import pytest
+
+from repro.campaigns.stats import (
+    fixed_sample_size_for_half_width,
+    wilson_half_width,
+    wilson_interval,
+    z_for_confidence,
+)
+
+
+class TestWilsonInterval:
+    def test_textbook_value_5_of_10(self):
+        # Classical Wilson interval for p̂ = 5/10 at z = 1.96.
+        low, high = wilson_interval(5, 10, z=1.96)
+        assert low == pytest.approx(0.2365896, abs=1e-6)
+        assert high == pytest.approx(0.7634104, abs=1e-6)
+
+    def test_exact_formula_agreement(self):
+        # Recompute from the closed form for an asymmetric case.
+        successes, trials, z = 37, 48, 1.96
+        p = successes / trials
+        z2 = z * z
+        denom = 1.0 + z2 / trials
+        center = (p + z2 / (2 * trials)) / denom
+        half = z * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials**2)) / denom
+        low, high = wilson_interval(successes, trials, z)
+        assert low == pytest.approx(center - half, abs=1e-12)
+        assert high == pytest.approx(center + half, abs=1e-12)
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extremes_stay_in_unit_interval_with_nonzero_width(self):
+        low0, high0 = wilson_interval(0, 20)
+        lowN, highN = wilson_interval(20, 20)
+        assert low0 == 0.0 and 0.0 < high0 < 0.5
+        assert highN == 1.0 and 0.5 < lowN < 1.0
+        # unlike the Wald interval, the width never collapses to zero
+        assert high0 - low0 > 0.0 and highN - lowN > 0.0
+
+    def test_interval_contains_point_estimate(self):
+        for successes, trials in [(1, 7), (3, 9), (50, 60), (999, 1000)]:
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+
+    def test_half_width_shrinks_with_samples(self):
+        widths = [wilson_half_width(n // 2, n) for n in (10, 40, 160, 640)]
+        assert widths == sorted(widths, reverse=True)
+        # asymptotically ~ z/(2*sqrt(n))
+        assert widths[-1] == pytest.approx(1.96 / (2 * math.sqrt(640)), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, -4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, z=0.0)
+
+
+class TestSizingHelpers:
+    def test_z_for_confidence(self):
+        assert z_for_confidence(0.95) == pytest.approx(1.96, abs=1e-3)
+        assert z_for_confidence(0.99) > z_for_confidence(0.90)
+        with pytest.raises(ValueError):
+            z_for_confidence(0.42)
+
+    def test_fixed_sample_size_worst_case(self):
+        # n = z^2 * 0.25 / h^2 at the planning worst case p = 0.5
+        assert fixed_sample_size_for_half_width(0.05, z=1.96) == 385
+        assert fixed_sample_size_for_half_width(0.12, z=1.96) == 67
+        with pytest.raises(ValueError):
+            fixed_sample_size_for_half_width(0.0)
+
+    def test_fixed_plan_never_beats_its_own_target(self):
+        # at the fixed-plan size, even p = 0.5 meets the target half-width
+        for h in (0.05, 0.1, 0.2):
+            n = fixed_sample_size_for_half_width(h)
+            assert wilson_half_width(n // 2, n) <= h + 1e-9

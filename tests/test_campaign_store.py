@@ -1,0 +1,189 @@
+"""CampaignStore: schema/versioning, content addressing, round-trips, export."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.campaigns.store import (
+    SCHEMA_VERSION,
+    CampaignStore,
+    StoreVersionError,
+    compute_campaign_id,
+)
+from repro.core.acceptance import OutcomeClass
+from repro.core.advf import AdvfResult, ObjectReport
+from repro.core.injector import FaultInjectionResult
+from repro.core.masking import MaskingCategory, MaskingLevel
+from repro.vm.faults import FaultSpec, FaultTarget
+
+PLAN = {"kind": "fixed", "tests": 8, "seed": 0}
+
+
+def _results(n=4):
+    outcomes = [
+        OutcomeClass.IDENTICAL,
+        OutcomeClass.ACCEPTABLE,
+        OutcomeClass.UNACCEPTABLE,
+        OutcomeClass.CRASH,
+    ]
+    return [
+        FaultInjectionResult(
+            spec=FaultSpec(
+                dynamic_id=10 + i,
+                bit=i,
+                target=FaultTarget.OPERAND if i % 2 == 0 else FaultTarget.STORE_DEST_OLD,
+                operand_index=i % 2,
+                note=f"test site {i}",
+            ),
+            outcome=outcomes[i % len(outcomes)],
+            detail=f"detail {i}" if i % 2 else "",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def store():
+    with CampaignStore(":memory:") as s:
+        yield s
+
+
+class TestIdentity:
+    def test_content_addressed_ids(self):
+        a = compute_campaign_id("matmul", {}, PLAN, 32)
+        assert a == compute_campaign_id("matmul", {}, PLAN, 32)
+        assert a != compute_campaign_id("matmul", {"n": 8}, PLAN, 32)
+        assert a != compute_campaign_id("matmul", {}, {**PLAN, "tests": 9}, 32)
+        assert a != compute_campaign_id("matmul", {}, PLAN, 16)
+        assert a != compute_campaign_id("lu", {}, PLAN, 32)
+
+    def test_kwarg_order_does_not_matter(self):
+        assert compute_campaign_id("lu", {"a": 1, "b": 2}, PLAN, 8) == (
+            compute_campaign_id("lu", {"b": 2, "a": 1}, PLAN, 8)
+        )
+
+    def test_ensure_campaign_dedupes(self, store):
+        first = store.ensure_campaign("matmul", {}, PLAN, 32)
+        second = store.ensure_campaign("matmul", {}, PLAN, 32)
+        assert first == second
+        assert len(store.campaigns()) == 1
+
+
+class TestSchema:
+    def test_schema_version_stamped(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        CampaignStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreVersionError, match="schema version 999"):
+            CampaignStore(path)
+
+    def test_reopen_preserves_rows(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with CampaignStore(path) as s:
+            cid = s.ensure_campaign("matmul", {}, PLAN, 32)
+            run = s.begin_run(cid)
+            s.record_shard(cid, 0, "C", 0, run, 0.1, _results())
+        with CampaignStore(path) as s:
+            assert s.has_campaign(cid)
+            assert len(s.outcomes(cid)) == 4
+            assert s.completed_shards(cid)[0].spec_count == 4
+
+
+class TestShardsAndOutcomes:
+    def test_round_trip_is_lossless(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        results = _results(6)
+        store.record_shard(cid, 3, "C", 1, run, 0.25, results)
+        stored = store.outcomes(cid)
+        assert [o.to_result() for o in stored] == results
+        assert all(o.object_name == "C" and o.shard_index == 3 for o in stored)
+        shard = store.completed_shards(cid)[3]
+        assert (shard.object_name, shard.batch, shard.run_id) == ("C", 1, run)
+
+    def test_histograms_and_tallies(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.record_shard(cid, 0, "C", 0, run, 0.1, _results(8))
+        hist = store.outcome_histograms(cid)["C"]
+        assert hist == {"identical": 2, "acceptable": 2, "unacceptable": 2, "crash": 2}
+        successes, trials = store.object_tallies(cid)["C"]
+        assert (successes, trials) == (4, 8)
+
+    def test_run_accounting(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        r1 = store.begin_run(cid)
+        r2 = store.begin_run(cid)
+        assert (r1, r2) == (1, 2)
+        store.finish_run(cid, r1, executed=3, skipped=0)
+        store.finish_run(cid, r2, executed=1, skipped=3)
+        assert store.run_accounting(cid) == [(1, 3, 0), (2, 1, 3)]
+
+    def test_duplicate_shard_rejected(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.record_shard(cid, 0, "C", 0, run, 0.1, _results())
+        with pytest.raises(sqlite3.IntegrityError):
+            store.record_shard(cid, 0, "C", 0, run, 0.1, _results())
+
+    def test_missing_campaign_raises(self, store):
+        with pytest.raises(KeyError):
+            store.campaign("nope")
+
+
+class TestReports:
+    def _report(self):
+        return ObjectReport(
+            result=AdvfResult(
+                object_name="C",
+                value=0.75,
+                participations=40,
+                masked_events=30.0,
+                by_level={MaskingLevel.OPERATION: 20.0, MaskingLevel.ALGORITHM: 10.0},
+                by_category={MaskingCategory.OVERSHADOW: 20.0},
+            ),
+            injections=12,
+            injection_outcomes={OutcomeClass.IDENTICAL: 7, OutcomeClass.CRASH: 5},
+            propagation_checks=9,
+            unresolved=1,
+            analyses_performed=30,
+            analyses_reused=10,
+        )
+
+    def test_report_round_trip(self, store):
+        report = self._report()
+        assert ObjectReport.from_dict(report.to_dict()) == report
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        store.save_report(cid, "C", report)
+        assert store.reports(cid) == {"C": report}
+
+    def test_report_dict_is_json_safe(self):
+        payload = self._report().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestExport:
+    def test_export_jsonl(self, store, tmp_path):
+        cid = store.ensure_campaign("matmul", {"n": 4}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.record_shard(cid, 0, "C", 0, run, 0.1, _results(3))
+        store.save_report(cid, "C", TestReports()._report())
+        path = tmp_path / "dump.jsonl"
+        with open(path, "w") as fh:
+            lines = store.export_jsonl(cid, fh)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == lines == 1 + 1 + 3 + 1
+        assert rows[0]["type"] == "campaign"
+        assert rows[0]["campaign_id"] == cid
+        assert rows[0]["schema_version"] == SCHEMA_VERSION
+        types = [row["type"] for row in rows]
+        assert types.count("outcome") == 3 and types.count("report") == 1
+        outcome = next(row for row in rows if row["type"] == "outcome")
+        assert FaultInjectionResult.from_row(outcome).spec.dynamic_id == 10

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.parallel.campaign import CampaignChunkError, _default_workers
+
 from repro.core.advf import AdvfResult, AnalysisConfig
 from repro.core.masking import MaskingCategory, MaskingLevel
 from repro.core.patterns import SingleBitModel
@@ -71,6 +73,60 @@ class TestCampaignRunner:
         runner = CampaignRunner("lulesh", {}, workers=1)
         assert runner.run_injections([]) == []
         assert runner.analyze_objects([]) == {}
+
+    def test_progress_callback(self, lulesh_workload):
+        trace = lulesh_workload.traced_run().trace
+        sites = enumerate_fault_sites(trace, "m_elemBC", bit_stride=32)[:4]
+        seen = []
+        runner = CampaignRunner("lulesh", {"num_elem": 10}, workers=1)
+        runner.run_injections(
+            [s.to_spec() for s in sites],
+            on_progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 1)]
+
+
+class TestWorkerConfig:
+    def test_repro_workers_env_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert _default_workers() == 3
+        assert CampaignRunner("lulesh").workers == 3
+
+    def test_repro_workers_env_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            _default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            _default_workers()
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert 1 <= _default_workers() <= 8
+
+    def test_explicit_workers_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert CampaignRunner("lulesh", workers=2).workers == 2
+
+
+class TestChunkErrorContext:
+    def test_failure_names_workload_chunk_and_specs(self):
+        # a workload name no worker can rebuild fails inside the chunk
+        runner = CampaignRunner("definitely-not-a-workload", {}, workers=1)
+        from repro.vm.faults import FaultSpec
+
+        specs = [FaultSpec(dynamic_id=i, bit=0) for i in range(3)]
+        with pytest.raises(CampaignChunkError) as excinfo:
+            runner.run_injections(specs)
+        message = str(excinfo.value)
+        assert "definitely-not-a-workload" in message
+        assert "chunk 0" in message and "3 items" in message
+        assert excinfo.value.__cause__ is not None
+
+    def test_analyze_failure_wrapped_too(self):
+        runner = CampaignRunner("not-a-workload", {}, workers=1)
+        with pytest.raises(CampaignChunkError, match="not-a-workload"):
+            runner.analyze_objects(["u"])
 
 
 class TestReporting:
