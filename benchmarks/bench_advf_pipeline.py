@@ -1,0 +1,159 @@
+"""A-PIPE — aDVF pipeline microbenchmark: columnar passes vs legacy scans.
+
+Measures, per workload (default ``matmul`` and ``cg``):
+
+* **analysis**: one full aDVF analysis of the workload's target objects
+  over a pre-built golden trace — the legacy per-event pipeline
+  (``pipeline="legacy"``) vs the vectorized columnar one
+  (``pipeline="columnar"``).  Injection is disabled so the measurement
+  isolates the trace-analysis stack (participation discovery, operation-
+  level masking, propagation, aggregation); the deterministic-injection
+  machinery is byte-for-byte shared by both pipelines.
+* **trace acquisition**: recording a fresh golden trace vs loading the
+  cached ``.npz`` artifact (what campaign workers and resumed campaigns
+  pay).
+
+Results must be *bit-identical* across pipelines (asserted here, and
+exhaustively in ``tests/test_passes_parity.py``).  The acceptance bar of
+the columnar refactor is a >= 3x analysis speedup on ``matmul``; observed
+numbers land in the pytest-benchmark JSON ``extra_info``.  Runable
+standalone too:
+
+    python benchmarks/bench_advf_pipeline.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed package or PYTHONPATH=src)
+except ModuleNotFoundError:  # standalone script run from a source checkout
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro.core.advf import AdvfEngine, AnalysisConfig
+from repro.tracing import ColumnarTrace, have_numpy
+from repro.workloads.registry import get_workload
+
+WORKLOADS = os.environ.get("REPRO_BENCH_PIPELINE_WORKLOADS", "matmul,cg").split(",")
+#: The analysis speedup bar on matmul (with NumPy available).
+SPEEDUP_BAR = 3.0
+
+
+def _time(fn, repeats: int = 3) -> float:
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_analysis_speedup(workload_name: str):
+    """Legacy vs columnar aDVF analysis over pre-built golden traces."""
+    workload = get_workload(workload_name)
+    results = {}
+
+    def analyze(pipeline):
+        engine = AdvfEngine(
+            workload, AnalysisConfig(pipeline=pipeline, use_injection=False)
+        )
+        engine.trace  # build (and, for columnar, seal) outside the timed region
+        elapsed = _timed(lambda: results.setdefault(pipeline, engine.analyze()))
+        # re-run on fresh engines for a min-of-3 wall clock
+        for _ in range(2):
+            fresh = AdvfEngine(
+                workload, AnalysisConfig(pipeline=pipeline, use_injection=False)
+            )
+            fresh.trace
+            elapsed = min(elapsed, _timed(fresh.analyze))
+        return elapsed
+
+    legacy_s = analyze("legacy")
+    columnar_s = analyze("columnar")
+
+    for object_name, report in results["legacy"].objects.items():
+        fast = results["columnar"].objects[object_name]
+        assert report.to_dict() == fast.to_dict(), (
+            f"pipelines diverged on {workload_name}.{object_name}"
+        )
+
+    return {
+        "workload": workload_name,
+        "numpy": have_numpy(),
+        "trace_events": results["legacy"].trace_events,
+        "objects": len(results["legacy"].objects),
+        "legacy_analysis_s": legacy_s,
+        "columnar_analysis_s": columnar_s,
+        "analysis_speedup": legacy_s / columnar_s if columnar_s else float("inf"),
+    }
+
+
+def measure_trace_acquisition(workload_name: str):
+    """Fresh traced run vs loading the cached columnar artifact."""
+    workload = get_workload(workload_name)
+    trace = workload.traced_run(columnar=True).trace
+    record_s = _time(lambda: workload.traced_run(columnar=True))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        path = trace.save(Path(tmp) / f"golden{'.npz' if have_numpy() else '.jsonl'}")
+        artifact_bytes = path.stat().st_size
+        load_s = _time(lambda: ColumnarTrace.load(path))
+    return {
+        "workload": workload_name,
+        "record_s": record_s,
+        "artifact_load_s": load_s,
+        "artifact_bytes": artifact_bytes,
+        "load_speedup": record_s / load_s if load_s else float("inf"),
+    }
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------- #
+def test_bench_advf_pipeline_analysis(once, benchmark):
+    from conftest import print_header
+
+    stats = {name: once(measure_analysis_speedup, name) for name in [WORKLOADS[0]]}
+    for name in WORKLOADS[1:]:
+        stats[name] = measure_analysis_speedup(name)
+    benchmark.extra_info.update(stats)
+    print_header("aDVF pipeline: columnar passes vs legacy per-event scans")
+    print(json.dumps(stats, indent=2))
+    if have_numpy() and "matmul" in stats:
+        assert stats["matmul"]["analysis_speedup"] >= SPEEDUP_BAR
+
+
+def test_bench_advf_pipeline_trace_cache(once, benchmark):
+    from conftest import print_header
+
+    stats = once(measure_trace_acquisition, WORKLOADS[0])
+    benchmark.extra_info.update(stats)
+    print_header("aDVF pipeline: golden-trace artifact load vs re-trace")
+    print(json.dumps(stats, indent=2))
+    assert stats["load_speedup"] > 1.0
+
+
+def main() -> None:
+    report = {
+        "analysis": {name: measure_analysis_speedup(name) for name in WORKLOADS},
+        "trace_acquisition": measure_trace_acquisition(WORKLOADS[0]),
+    }
+    print(json.dumps(report, indent=2))
+    if have_numpy() and "matmul" in report["analysis"]:
+        speedup = report["analysis"]["matmul"]["analysis_speedup"]
+        assert speedup >= SPEEDUP_BAR, (
+            f"columnar analysis speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_BAR:.0f}x bar"
+        )
+
+
+if __name__ == "__main__":
+    main()

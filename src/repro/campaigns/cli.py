@@ -39,6 +39,7 @@ from repro.reporting import (
     format_advf_report_table,
     format_campaign_list,
     format_outcome_table,
+    format_shard_table,
     format_table,
 )
 from repro.workloads.registry import validate_workload, workload_summaries
@@ -269,9 +270,30 @@ def _cmd_status(args) -> int:
         print(f"workload   : {record.workload} {record.workload_kwargs or ''}".rstrip())
         print(f"plan       : {plan.describe()}")
         print(f"status     : {record.status}")
+        print(f"trace      : {record.trace_digest or '-'} (cached columnar "
+              f"golden trace; see REPRO_TRACE_CACHE)")
         print(f"shards done: {status.shards_done} ({status.injections_done} injections)")
         for run_id, executed, skipped in status.runs:
             print(f"  run {run_id}: executed {executed} shards, skipped {skipped}")
+        if status.shards:
+            print()
+            print(
+                format_shard_table(
+                    [
+                        {
+                            "shard": shard.shard_index,
+                            "object": shard.object_name,
+                            "batch": shard.batch,
+                            "run": shard.run_id,
+                            "specs": shard.spec_count,
+                            "inject_s": shard.duration_s,
+                            "analysis_s": shard.analysis_s,
+                        }
+                        for shard in status.shards
+                    ],
+                    limit=20,
+                )
+            )
         if status.histograms:
             print()
             print(format_outcome_table(status.histograms))

@@ -34,6 +34,7 @@ from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.parallel.campaign import CampaignRunner, _default_workers
 from repro.parallel.partition import chunk_evenly
+from repro.tracing.cache import TraceCache, trace_digest
 from repro.vm.faults import FaultSpec
 from repro.workloads.registry import get_workload, validate_workload
 
@@ -144,8 +145,13 @@ class CampaignOrchestrator:
             self.plan.to_dict(),
             self.shard_size,
         )
+        #: Content address of the golden-trace artifact (trace cache key).
+        self.trace_digest = trace_digest(self.workload_name, self.workload_kwargs)
         self._injector: Optional[DeterministicFaultInjector] = None
         self._runner: Optional[CampaignRunner] = None
+        #: Seconds spent enumerating fault sites, per data object (the
+        #: analysis-pass timing stamped onto the object's shards).
+        self._pass_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # construction from persisted state
@@ -188,7 +194,9 @@ class CampaignOrchestrator:
         tasks: List[ShardTask] = []
         index = 0
         for object_name in self.plan.objects_for(workload):
+            pass_start = time.perf_counter()
             specs = self.plan.specs_for(trace, object_name)
+            self._pass_seconds[object_name] = time.perf_counter() - pass_start
             pieces = max(1, -(-len(specs) // self.shard_size))
             for batch, chunk in enumerate(chunk_evenly(specs, pieces)):
                 if not chunk:
@@ -217,8 +225,9 @@ class CampaignOrchestrator:
         """
         run_id = self.store.begin_run(self.campaign_id)
         self.store.set_status(self.campaign_id, "running")
+        self.store.set_trace_digest(self.campaign_id, self.trace_digest)
         workload = self._workload()
-        trace = workload.traced_run().trace
+        trace = self._acquire_trace(workload)
 
         counters = _RunCounters()
         status = "failed"
@@ -291,7 +300,9 @@ class CampaignOrchestrator:
         done = self.store.completed_shards(self.campaign_id)
         objects = plan.objects_for(workload)
         for object_index, object_name in enumerate(objects):
+            pass_start = time.perf_counter()
             sites = plan.site_pool(trace, object_name)
+            self._pass_seconds[object_name] = time.perf_counter() - pass_start
             successes = trials = 0
             for batch in range(plan.max_batches):
                 if trials > 0 and plan.satisfied(successes, trials):
@@ -362,6 +373,29 @@ class CampaignOrchestrator:
     def _workload(self):
         return get_workload(self.workload_name, **self.workload_kwargs)
 
+    def _acquire_trace(self, workload):
+        """The golden columnar trace: cache artifact when enabled, else fresh.
+
+        Resumed campaigns land on the same digest, so the artifact built by
+        the first run is reused instead of re-tracing the workload.
+        """
+        start = time.perf_counter()
+        cache = TraceCache.from_env()
+        if cache is not None:
+            trace, hit = cache.get_or_build(
+                self.trace_digest,
+                lambda: workload.traced_run(columnar=True).trace,
+            )
+            source = "cache hit" if hit else "cache miss, built"
+        else:
+            trace = workload.traced_run(columnar=True).trace
+            source = "cache disabled, built"
+        self._say(
+            f"[{self.campaign_id}] golden trace {self.trace_digest}: {source} "
+            f"({len(trace)} events, {time.perf_counter() - start:.2f}s)"
+        )
+        return trace
+
     def _say(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
@@ -380,6 +414,7 @@ class CampaignOrchestrator:
             run_id,
             duration,
             results,
+            analysis_s=self._pass_seconds.get(task.object_name, 0.0),
         )
         rate = len(results) / duration if duration > 0 else float("inf")
         self._say(

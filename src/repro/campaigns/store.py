@@ -19,7 +19,8 @@ Design points:
   shards record which run executed them, so tests (and operators) can
   verify a resume re-executed only the unfinished shards.
 * **Schema versioning.**  The schema version is stamped into the file on
-  creation and checked on open; a mismatch raises
+  creation and checked on open; v1 stores are migrated in place (v2 only
+  adds defaulted columns), any other mismatch raises
   :class:`StoreVersionError` instead of silently misreading rows.
 """
 
@@ -38,7 +39,7 @@ from repro.core.advf import ObjectReport
 from repro.core.injector import FaultInjectionResult
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -52,7 +53,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     plan            TEXT NOT NULL,
     shard_size      INTEGER NOT NULL,
     created_at      REAL NOT NULL,
-    status          TEXT NOT NULL DEFAULT 'running'
+    status          TEXT NOT NULL DEFAULT 'running',
+    trace_digest    TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS runs (
     campaign_id TEXT NOT NULL,
@@ -70,6 +72,7 @@ CREATE TABLE IF NOT EXISTS shards (
     run_id      INTEGER NOT NULL,
     spec_count  INTEGER NOT NULL,
     duration_s  REAL NOT NULL,
+    analysis_s  REAL NOT NULL DEFAULT 0,
     recorded_at REAL NOT NULL,
     PRIMARY KEY (campaign_id, shard_index)
 );
@@ -142,6 +145,9 @@ class CampaignRecord:
     shard_size: int
     created_at: float
     status: str
+    #: Content address of the cached golden trace the campaign plans over
+    #: (see :mod:`repro.tracing.cache`); empty until the first run records it.
+    trace_digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -154,6 +160,9 @@ class ShardRecord:
     run_id: int
     spec_count: int
     duration_s: float
+    #: Seconds spent in the analysis passes (participation discovery + site
+    #: enumeration) attributable to the shard's data object.
+    analysis_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -182,6 +191,8 @@ class CampaignStatus:
     injections_done: int
     runs: List[Tuple[int, int, int]] = field(default_factory=list)
     histograms: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Completed shards in index order (for per-shard timing tables).
+    shards: List[ShardRecord] = field(default_factory=list)
 
 
 class CampaignStore:
@@ -212,11 +223,39 @@ class CampaignStore:
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
                     (str(SCHEMA_VERSION),),
                 )
-            elif int(row[0]) != SCHEMA_VERSION:
+                return
+            version = int(row[0])
+            if version == 1:
+                version = self._migrate_v1_to_v2()
+            if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
                     f"this build expects {SCHEMA_VERSION}"
                 )
+
+    def _migrate_v1_to_v2(self) -> int:
+        """v1 → v2: both additions are defaulted columns, so existing rows
+        migrate in place and stay fully usable."""
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(campaigns)")
+        }
+        if "trace_digest" not in columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN "
+                "trace_digest TEXT NOT NULL DEFAULT ''"
+            )
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(shards)")
+        }
+        if "analysis_s" not in columns:
+            self._conn.execute(
+                "ALTER TABLE shards ADD COLUMN analysis_s REAL NOT NULL DEFAULT 0"
+            )
+        self._conn.execute(
+            "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+        )
+        return 2
 
     @property
     def schema_version(self) -> int:
@@ -265,7 +304,8 @@ class CampaignStore:
     def campaign(self, campaign_id: str) -> CampaignRecord:
         row = self._conn.execute(
             "SELECT campaign_id, workload, workload_kwargs, plan, shard_size, "
-            "created_at, status FROM campaigns WHERE campaign_id = ?",
+            "created_at, status, trace_digest FROM campaigns "
+            "WHERE campaign_id = ?",
             (campaign_id,),
         ).fetchone()
         if row is None:
@@ -278,6 +318,7 @@ class CampaignStore:
             shard_size=row[4],
             created_at=row[5],
             status=row[6],
+            trace_digest=row[7],
         )
 
     def has_campaign(self, campaign_id: str) -> bool:
@@ -300,6 +341,18 @@ class CampaignStore:
             self._conn.execute(
                 "UPDATE campaigns SET status = ? WHERE campaign_id = ?",
                 (status, campaign_id),
+            )
+
+    def set_trace_digest(self, campaign_id: str, trace_digest: str) -> None:
+        """Record the digest of the golden-trace artifact the campaign uses.
+
+        Resumed campaigns verify/reuse the cached artifact through this
+        digest, so the plan re-derivation provably reads the same trace.
+        """
+        with self._conn:
+            self._conn.execute(
+                "UPDATE campaigns SET trace_digest = ? WHERE campaign_id = ?",
+                (trace_digest, campaign_id),
             )
 
     # ------------------------------------------------------------------ #
@@ -352,6 +405,7 @@ class CampaignStore:
         run_id: int,
         duration_s: float,
         results: Sequence[FaultInjectionResult],
+        analysis_s: float = 0.0,
     ) -> None:
         """Persist one completed shard and all its outcomes atomically."""
         with self._conn:
@@ -378,8 +432,8 @@ class CampaignStore:
             )
             self._conn.execute(
                 "INSERT INTO shards (campaign_id, shard_index, object_name, batch, "
-                "run_id, spec_count, duration_s, recorded_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "run_id, spec_count, duration_s, analysis_s, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     campaign_id,
                     shard_index,
@@ -388,6 +442,7 @@ class CampaignStore:
                     run_id,
                     len(results),
                     duration_s,
+                    analysis_s,
                     time.time(),
                 ),
             )
@@ -396,8 +451,9 @@ class CampaignStore:
         """All persisted (fully completed) shards, keyed by shard index."""
         out: Dict[int, ShardRecord] = {}
         for row in self._conn.execute(
-            "SELECT shard_index, object_name, batch, run_id, spec_count, duration_s "
-            "FROM shards WHERE campaign_id = ? ORDER BY shard_index",
+            "SELECT shard_index, object_name, batch, run_id, spec_count, "
+            "duration_s, analysis_s FROM shards WHERE campaign_id = ? "
+            "ORDER BY shard_index",
             (campaign_id,),
         ):
             record = ShardRecord(
@@ -407,6 +463,7 @@ class CampaignStore:
                 run_id=int(row[3]),
                 spec_count=int(row[4]),
                 duration_s=row[5],
+                analysis_s=row[6],
             )
             out[record.shard_index] = record
         return out
@@ -515,6 +572,7 @@ class CampaignStore:
             injections_done=sum(s.spec_count for s in shards.values()),
             runs=self.run_accounting(campaign_id),
             histograms=self.outcome_histograms(campaign_id),
+            shards=[shards[index] for index in sorted(shards)],
         )
 
     def export_jsonl(self, campaign_id: str, fh: IO[str]) -> int:
@@ -541,6 +599,7 @@ class CampaignStore:
                 "plan": record.plan,
                 "shard_size": record.shard_size,
                 "status": record.status,
+                "trace_digest": record.trace_digest,
                 "schema_version": self.schema_version,
             }
         )
@@ -554,6 +613,7 @@ class CampaignStore:
                     "run_id": shard.run_id,
                     "spec_count": shard.spec_count,
                     "duration_s": shard.duration_s,
+                    "analysis_s": shard.analysis_s,
                 }
             )
         for outcome in self.outcomes(campaign_id):

@@ -21,6 +21,7 @@ on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,9 +40,12 @@ from repro.core.participation import (
     find_participations,
 )
 from repro.core.patterns import ErrorModel, ErrorPattern, SingleBitModel, classify_bit
+from repro.core.passes import OperationPasses
 from repro.core.propagation import PropagationAnalyzer
+from repro.core.replay import ReplayContext
 from repro.core.sites import FaultSite
-from repro.tracing.trace import Trace
+from repro.tracing.columnar import ColumnarTrace
+from repro.tracing.cursor import TraceLike
 
 if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
     from repro.workloads.base import Workload
@@ -83,6 +87,12 @@ class AnalysisConfig:
     #: each fault by checkpointed replay from the nearest snapshot (fast,
     #: bit-identical); ``"rerun"`` re-executes from scratch (the seed path).
     injection_mode: str = "replay"
+    #: Analysis pipeline: ``"columnar"`` records the golden run into a
+    #: :class:`~repro.tracing.columnar.ColumnarTrace` and runs the
+    #: vectorized participation/masking passes (bit-identical results);
+    #: ``"legacy"`` keeps the original per-event scans over a full
+    #: :class:`~repro.tracing.trace.Trace` (the parity oracle).
+    pipeline: str = "columnar"
 
 
 @dataclass
@@ -206,25 +216,63 @@ class WorkloadReport:
 
 
 class AdvfEngine:
-    """Compute aDVF for the data objects of one workload."""
+    """Compute aDVF for the data objects of one workload.
 
-    def __init__(self, workload: Workload, config: Optional[AnalysisConfig] = None) -> None:
+    ``trace`` may inject a pre-built golden trace (e.g. a
+    :class:`~repro.tracing.columnar.ColumnarTrace` loaded from the trace
+    cache by a campaign worker); otherwise the engine records one itself,
+    per :attr:`AnalysisConfig.pipeline`.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[AnalysisConfig] = None,
+        trace: Optional[TraceLike] = None,
+    ) -> None:
         self.workload = workload
         self.config = config or AnalysisConfig()
-        self._trace: Optional[Trace] = None
+        if self.config.pipeline not in ("columnar", "legacy"):
+            raise ValueError(
+                f"unknown analysis pipeline {self.config.pipeline!r}; "
+                f"expected 'columnar' or 'legacy'"
+            )
+        self._trace: Optional[TraceLike] = trace
         self._masking: Optional[OperationMaskingAnalyzer] = None
         self._propagation: Optional[PropagationAnalyzer] = None
         self._injector: Optional[DeterministicFaultInjector] = None
+        self._passes: Optional[OperationPasses] = None
+        #: Wall-clock seconds per analysis pass (participation discovery,
+        #: bulk operation passes), accumulated across analysed objects.
+        self.pass_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # preparation
     # ------------------------------------------------------------------ #
     @property
-    def trace(self) -> Trace:
-        """The golden traced execution (computed on first use)."""
+    def trace(self) -> TraceLike:
+        """The golden traced execution (computed on first use).
+
+        In the columnar pipeline with replay injection enabled, the golden
+        trace is recorded *during* the injector's snapshot run, so the
+        workload executes once instead of twice.
+        """
         if self._trace is None:
-            outcome = self.workload.traced_run()
-            self._trace = outcome.trace
+            if self.config.pipeline == "columnar":
+                if self.config.use_injection and (
+                    self.config.injection_mode == "replay"
+                ):
+                    sink = ColumnarTrace()
+                    context = ReplayContext(self.workload, sink=sink)
+                    self._injector = DeterministicFaultInjector(
+                        self.workload, mode="replay", context=context
+                    )
+                    self._trace = sink
+                else:
+                    self._trace = self.workload.traced_run(columnar=True).trace
+                self._trace.columns()  # seal the column views eagerly
+            else:
+                self._trace = self.workload.traced_run().trace
         return self._trace
 
     def _prepare(self) -> None:
@@ -233,6 +281,12 @@ class AdvfEngine:
             self._masking = OperationMaskingAnalyzer(
                 trace, overshadow_threshold=self.config.overshadow_threshold
             )
+        if (
+            self._passes is None
+            and self.config.pipeline == "columnar"
+            and isinstance(trace, ColumnarTrace)
+        ):
+            self._passes = OperationPasses(trace, self._masking)
         if self._propagation is None:
             self._propagation = PropagationAnalyzer(
                 trace,
@@ -259,12 +313,35 @@ class AdvfEngine:
         )
 
     def analyze_object(self, object_name: str) -> ObjectReport:
-        """Compute aDVF (and its breakdowns) for one data object."""
+        """Compute aDVF (and its breakdowns) for one data object.
+
+        The columnar pipeline runs the same decision procedure with two
+        accelerations that leave every number bit-identical:
+
+        * participation discovery and the cheap operation-level categories
+          come from the vectorized passes (:mod:`repro.core.passes`);
+        * once every error pattern of an equivalence class has collected
+          its full sample budget, the class's per-pattern contributions are
+          frozen into a *tail* — subsequent occurrences replay the frozen
+          terms (the same floats the cache's ``estimate`` would return, in
+          the same accumulation order) without re-deriving keys, patterns
+          or cache entries.
+        """
         self._prepare()
         config = self.config
+        start = time.perf_counter()
         participations = find_participations(
             self.trace, object_name, max_participations=config.max_participations
         )
+        self.pass_timings["participation"] = (
+            self.pass_timings.get("participation", 0.0)
+            + (time.perf_counter() - start)
+        )
+        if self._passes is not None:
+            self._passes.prepare(participations)
+            self.pass_timings["operation_passes"] = self._passes.timings.get(
+                "operation_passes", 0.0
+            )
 
         site_cache = EquivalenceCache(samples_per_class=config.equivalence_samples)
         injection_cache = EquivalenceCache(
@@ -275,11 +352,44 @@ class AdvfEngine:
         numerator = 0.0
         by_level: Dict[MaskingLevel, float] = {}
         by_category: Dict[MaskingCategory, float] = {}
+        fast = self._passes is not None
+        tails: Dict[Tuple, _ClassTail] = {}
 
         for participation in participations:
             patterns = config.error_model.patterns_for(participation.value_type)
             if not patterns:
                 continue
+            if fast:
+                class_key = (
+                    participation.static_uid,
+                    participation.role.value,
+                    participation.operand_index,
+                    participation.value_type.name,
+                )
+                tail = tails.get(class_key)
+                if tail is None:
+                    tail = _build_class_tail(site_cache, participation, patterns)
+                    if tail is not None:
+                        tails[class_key] = tail
+                if tail is not None:
+                    # Additions to different dict slots commute, so the
+                    # per-pattern weights are replayed grouped by level /
+                    # category (in pattern order within each group) — the
+                    # running sum of every slot sees the identical addition
+                    # sequence the per-pattern loop would produce.
+                    for level, weights in tail.level_weights:
+                        acc = by_level.get(level, 0.0)
+                        for weight in weights:
+                            acc += weight
+                        by_level[level] = acc
+                    for category, weights in tail.category_weights:
+                        acc = by_category.get(category, 0.0)
+                        for weight in weights:
+                            acc += weight
+                        by_category[category] = acc
+                    numerator += tail.masked_quotient
+                    tail.uses += 1
+                    continue
             masked_total = 0.0
             for pattern in patterns:
                 key = (
@@ -302,6 +412,13 @@ class AdvfEngine:
                 if weight > 0.0 and category is not None:
                     by_category[category] = by_category.get(category, 0.0) + weight
             numerator += masked_total / len(patterns)
+
+        # The tail fast path defers the equivalence cache's reuse
+        # accounting; settle it so coverage statistics stay exact.
+        for tail in tails.values():
+            if tail.uses:
+                for entry, per_use in tail.entry_counts:
+                    entry.reused += per_use * tail.uses
 
         denominator = len(participations)
         result = AdvfResult(
@@ -331,7 +448,10 @@ class AdvfEngine:
         pattern: ErrorPattern,
         state: "_ObjectState",
     ) -> Tuple[float, Optional[MaskingLevel], Optional[MaskingCategory]]:
-        verdict = self._masking.analyze(participation, pattern)
+        if self._passes is not None:
+            verdict = self._passes.verdict(participation, pattern)
+        else:
+            verdict = self._masking.analyze(participation, pattern)
         if verdict.masked is True:
             return 1.0, verdict.level, verdict.category
         if verdict.masked is False and not (
@@ -426,6 +546,73 @@ class _ObjectState:
     propagation_checks: int = 0
     unresolved: int = 0
     injection_outcomes: Dict[OutcomeClass, int] = field(default_factory=dict)
+
+
+@dataclass
+class _ClassTail:
+    """Frozen per-pattern contributions of a saturated equivalence class.
+
+    Once every error pattern of a class has collected its full sample
+    budget, no further ``record`` can change the cache entries, so the
+    floats ``estimate`` would return are fixed: ``masked_quotient`` is the
+    pattern-order fold of the per-pattern masked means divided by the
+    pattern count (the exact ``numerator`` increment), and
+    ``level_weights`` / ``category_weights`` hold the positive per-pattern
+    weights grouped by target slot, in pattern order within each group.
+    ``entry_counts`` maps each underlying cache entry to how many of the
+    class's patterns it serves, so reuse accounting settles in bulk.
+    """
+
+    masked_quotient: float
+    level_weights: List[Tuple[MaskingLevel, List[float]]]
+    category_weights: List[Tuple[MaskingCategory, List[float]]]
+    entry_counts: List[Tuple[object, int]]
+    uses: int = 0
+
+
+def _build_class_tail(
+    site_cache: EquivalenceCache,
+    participation: Participation,
+    patterns: Sequence[ErrorPattern],
+) -> Optional["_ClassTail"]:
+    """The frozen tail of the participation's class, or ``None`` if any of
+    its error patterns still owes full analyses."""
+    samples = site_cache.samples_per_class
+    entries = site_cache.entries
+    n = len(patterns)
+    masked_total = 0.0
+    level_weights: Dict[MaskingLevel, List[float]] = {}
+    category_weights: Dict[MaskingCategory, List[float]] = {}
+    counts: Dict[int, List] = {}
+    for pattern in patterns:
+        key = (
+            participation.static_uid,
+            participation.role.value,
+            participation.operand_index,
+            pattern.primary_bit,
+        )
+        entry = entries.get(key)
+        if entry is None or entry.sample_count < samples:
+            return None
+        masked = entry.masked_mean
+        masked_total += masked
+        weight = masked / n
+        if weight > 0.0:
+            if entry.level is not None:
+                level_weights.setdefault(entry.level, []).append(weight)
+            if entry.category is not None:
+                category_weights.setdefault(entry.category, []).append(weight)
+        slot = counts.get(id(entry))
+        if slot is None:
+            counts[id(entry)] = [entry, 1]
+        else:
+            slot[1] += 1
+    return _ClassTail(
+        masked_quotient=masked_total / n,
+        level_weights=list(level_weights.items()),
+        category_weights=list(category_weights.items()),
+        entry_counts=[(entry, count) for entry, count in counts.values()],
+    )
 
 
 def analyze_workload(

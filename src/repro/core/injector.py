@@ -79,6 +79,7 @@ class DeterministicFaultInjector:
         mode: str = "replay",
         checkpoint_interval: Optional[int] = None,
         target_checkpoints: int = 64,
+        context: Optional[ReplayContext] = None,
     ) -> None:
         if mode not in ("replay", "rerun"):
             raise ValueError(f"unknown injection mode {mode!r}")
@@ -86,6 +87,8 @@ class DeterministicFaultInjector:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
             )
+        if context is not None and mode != "replay":
+            raise ValueError("a prebuilt ReplayContext requires mode='replay'")
         self.workload = workload
         if check_return_value is None:
             check_return_value = getattr(workload, "check_return_value", True)
@@ -94,7 +97,10 @@ class DeterministicFaultInjector:
         self.checkpoint_interval = checkpoint_interval
         self.target_checkpoints = target_checkpoints
         self._golden: Optional[RunOutcome] = None
-        self._context: Optional[ReplayContext] = None
+        #: A caller-supplied golden run + snapshot schedule may be shared
+        #: (e.g. the aDVF engine records its golden trace during the same
+        #: execution that captures the checkpoints).
+        self._context: Optional[ReplayContext] = context
         self.runs = 0
 
     # ------------------------------------------------------------------ #

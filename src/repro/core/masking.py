@@ -39,7 +39,8 @@ from repro.core.participation import (
 )
 from repro.core.patterns import ErrorPattern
 from repro.core.reexec import ReexecStatus, reevaluate, results_identical
-from repro.tracing.trace import Trace
+from repro.tracing.cursor import TraceLike
+from repro.tracing.events import TraceEvent
 
 
 class MaskingLevel(enum.Enum):
@@ -99,25 +100,43 @@ def _relative_deviation(original: float, corrupted: float) -> float:
 class OperationMaskingAnalyzer:
     """Implements the §III-C operation-level rules over a dynamic trace."""
 
-    def __init__(self, trace: Trace, overshadow_threshold: float = 1e-10) -> None:
+    def __init__(self, trace: TraceLike, overshadow_threshold: float = 1e-10) -> None:
         self.trace = trace
         #: Relative deviation below which an additive result is considered a
         #: value-overshadowing candidate (confirmed by injection when enabled).
         self.overshadow_threshold = overshadow_threshold
 
     # ------------------------------------------------------------------ #
-    def analyze(self, participation: Participation, pattern: ErrorPattern) -> MaskingVerdict:
-        """Operation-level verdict for one participation under one pattern."""
+    def analyze(
+        self,
+        participation: Participation,
+        pattern: ErrorPattern,
+        event: Optional[TraceEvent] = None,
+    ) -> MaskingVerdict:
+        """Operation-level verdict for one participation under one pattern.
+
+        ``event`` may carry the pre-materialised trace event of the
+        participation (columnar consumers cache these); when omitted it is
+        fetched from the trace.
+        """
         if participation.role is ParticipationRole.STORE_DEST:
-            return self._analyze_store_destination(participation)
-        return self._analyze_consumption(participation, pattern)
+            return self._analyze_store_destination(participation, event=event)
+        return self._analyze_consumption(participation, pattern, event=event)
 
     # ------------------------------------------------------------------ #
     # store destinations: value overwriting
     # ------------------------------------------------------------------ #
-    def _analyze_store_destination(self, participation: Participation) -> MaskingVerdict:
-        event = self.trace[participation.event_id]
-        if is_read_modify_write(self.trace, event):
+    def _analyze_store_destination(
+        self,
+        participation: Participation,
+        event: Optional[TraceEvent] = None,
+        rmw: Optional[bool] = None,
+    ) -> MaskingVerdict:
+        if rmw is None:
+            if event is None:
+                event = self.trace[participation.event_id]
+            rmw = is_read_modify_write(self.trace, event)
+        if rmw:
             # The value written back incorporates the (erroneous) old value;
             # the store does not overwrite the error.  The error's effect is
             # accounted for at the consuming operation, so this participation
@@ -137,9 +156,13 @@ class OperationMaskingAnalyzer:
     # consumed values
     # ------------------------------------------------------------------ #
     def _analyze_consumption(
-        self, participation: Participation, pattern: ErrorPattern
+        self,
+        participation: Participation,
+        pattern: ErrorPattern,
+        event: Optional[TraceEvent] = None,
     ) -> MaskingVerdict:
-        event = self.trace[participation.event_id]
+        if event is None:
+            event = self.trace[participation.event_id]
         index = participation.operand_index
         opcode = event.opcode
         original_value = event.operand_values[index]

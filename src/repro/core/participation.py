@@ -13,18 +13,33 @@ Loads themselves are not counted as participations — the loaded value's
 *consumer* is — matching the paper's LU walk-through, where
 ``sum[m] = sum[m] + v*v`` contributes one addition and one assignment (not a
 load) to the denominator.
+
+Two implementations share this definition:
+
+* the original per-event scan, which works over any ``TraceLike`` source
+  and remains the parity oracle;
+* a vectorized pass over the integer columns of a
+  :class:`~repro.tracing.columnar.ColumnarTrace` (object-id masks instead
+  of per-event Python dispatch), used automatically when the trace exposes
+  NumPy columns.  Both produce identical participation lists, in identical
+  order — asserted by the parity test suite.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir.instructions import Opcode
 from repro.ir.types import IRType
+from repro.tracing.columnar import (
+    INSTRUCTION_KIND_CODE,
+    LOAD_CODE,
+    STORE_CODE,
+    ColumnarTrace,
+)
+from repro.tracing.cursor import TraceLike
 from repro.tracing.events import OperandKind, TraceEvent
-from repro.tracing.trace import Trace
 
 
 class ParticipationRole(enum.Enum):
@@ -56,19 +71,58 @@ class Participation:
 
 
 def find_participations(
-    trace: Trace,
+    trace: TraceLike,
     object_name: str,
     max_participations: Optional[int] = None,
 ) -> List[Participation]:
     """Enumerate every participation of ``object_name`` in ``trace``.
 
+    Dispatches to the vectorized columnar pass when the trace exposes
+    column views, and to the per-event scan otherwise.
     ``max_participations`` caps the result by taking an evenly-strided
     subsample (deterministic), which keeps analysis of very long traces
     bounded; the aDVF value is a ratio, so even subsampling preserves it in
     expectation.
     """
-    participations: List[Participation] = []
+    columns = trace.columns() if isinstance(trace, ColumnarTrace) else None
+    if columns is not None:
+        participations = _find_participations_columnar(trace, columns, object_name)
+    else:
+        participations = _find_participations_scan(trace, object_name)
 
+    if max_participations is not None and len(participations) > max_participations:
+        stride = len(participations) / max_participations
+        participations = [
+            participations[int(i * stride)] for i in range(max_participations)
+        ]
+    return participations
+
+
+def _operand_is_direct_load_of(
+    trace: TraceLike, event: TraceEvent, operand_index: int, object_name: str
+) -> Optional[Tuple[int, int]]:
+    """``(element index, load id)`` when the operand is a direct load hit.
+
+    Protocol-level version of ``Trace.operand_is_direct_load_of``: works
+    against any trace-like source, so the scan path is not tied to the
+    full in-memory trace.
+    """
+    if event.operand_kinds[operand_index] is not OperandKind.INSTRUCTION:
+        return None
+    producer_id = event.operand_producers[operand_index]
+    if producer_id < 0:
+        return None
+    producer = trace[producer_id]
+    if not producer.is_load or producer.object_name != object_name:
+        return None
+    return (producer.element_index, producer.dynamic_id)  # type: ignore[return-value]
+
+
+def _find_participations_scan(
+    trace: TraceLike, object_name: str
+) -> List[Participation]:
+    """The original per-event scan (parity oracle for the columnar pass)."""
+    participations: List[Participation] = []
     for event in trace:
         if event.is_store and event.object_name == object_name:
             participations.append(
@@ -85,9 +139,7 @@ def find_participations(
         if event.is_load:
             continue
         for operand_index in range(event.operand_count()):
-            if event.operand_kinds[operand_index] is not OperandKind.INSTRUCTION:
-                continue
-            hit = trace.operand_is_direct_load_of(event, operand_index, object_name)
+            hit = _operand_is_direct_load_of(trace, event, operand_index, object_name)
             if hit is None:
                 continue
             element_index, load_id = hit
@@ -102,16 +154,93 @@ def find_participations(
                     static_uid=event.static_uid,
                 )
             )
-
-    if max_participations is not None and len(participations) > max_participations:
-        stride = len(participations) / max_participations
-        participations = [
-            participations[int(i * stride)] for i in range(max_participations)
-        ]
     return participations
 
 
-def is_read_modify_write(trace: Trace, store_event: TraceEvent, max_depth: int = 32) -> bool:
+def _find_participations_columnar(
+    trace: ColumnarTrace, cols, object_name: str
+) -> List[Participation]:
+    """Vectorized participation discovery over the trace columns.
+
+    Store destinations are an object-id mask over the store events;
+    consumptions are found by gathering each instruction-kind operand's
+    producer and testing *the producers* (one gather) for "load of the
+    target object" — no per-event Python dispatch.  The merged result is
+    ordered exactly like the scan: by event id, store destination (operand
+    index ``-1``) before consumed operands in operand order.
+    """
+    import numpy as np
+
+    target = cols.object_index.get(object_name)
+    if target is None:
+        return []
+
+    store_ids = np.nonzero(
+        (cols.opcode == STORE_CODE) & (cols.object_id == target)
+    )[0]
+
+    candidates = np.nonzero(
+        (cols.kinds == INSTRUCTION_KIND_CODE) & (cols.producers >= 0)
+    )[0]
+    producer_ids = cols.producers[candidates]
+    hits = (cols.opcode[producer_ids] == LOAD_CODE) & (
+        cols.object_id[producer_ids] == target
+    )
+    flat = candidates[hits]
+    owners = cols.owner[flat]
+    not_load = cols.opcode[owners] != LOAD_CODE
+    flat = flat[not_load]
+    owners = owners[not_load]
+    operand_indices = flat - cols.offsets[owners]
+    load_ids = cols.producers[flat]
+
+    event_ids = np.concatenate([store_ids, owners])
+    opidx = np.concatenate(
+        [np.full(len(store_ids), -1, dtype=np.int64), operand_indices]
+    )
+    loads = np.concatenate([np.full(len(store_ids), -1, dtype=np.int64), load_ids])
+    elements = np.concatenate([cols.element[store_ids], cols.element[load_ids]])
+    order = np.lexsort((opidx, event_ids))
+
+    uid_of = trace.static_uid_of
+    type_of = trace.operand_type
+    out: List[Participation] = []
+    for event_id, operand_index, load_id, element in zip(
+        event_ids[order].tolist(),
+        opidx[order].tolist(),
+        loads[order].tolist(),
+        elements[order].tolist(),
+    ):
+        if operand_index < 0:
+            out.append(
+                Participation(
+                    event_id=event_id,
+                    role=ParticipationRole.STORE_DEST,
+                    operand_index=-1,
+                    element_index=element,
+                    load_event_id=-1,
+                    value_type=type_of(event_id, 0),
+                    static_uid=uid_of(event_id),
+                )
+            )
+        else:
+            out.append(
+                Participation(
+                    event_id=event_id,
+                    role=ParticipationRole.CONSUMED,
+                    operand_index=operand_index,
+                    element_index=element,
+                    load_event_id=load_id,
+                    value_type=type_of(event_id, operand_index),
+                    static_uid=uid_of(event_id),
+                )
+            )
+    return out
+
+
+def is_read_modify_write(
+    trace: TraceLike, store_event: TraceEvent, max_depth: int = 32
+) -> bool:
     """Whether the value stored by ``store_event`` depends on the destination.
 
     Walks the producer chain of the stored value looking for a load of the

@@ -131,10 +131,18 @@ class SingleBitModel(ErrorModel):
             raise ValueError("bit_stride must be >= 1")
         self.bit_stride = bit_stride
         self.name = "single-bit" if bit_stride == 1 else f"single-bit/{bit_stride}"
+        self._cache: dict = {}
 
     def patterns_for(self, ir_type: IRType) -> List[ErrorPattern]:
-        width = ir_type.bits
-        return [ErrorPattern((bit,)) for bit in range(0, width, self.bit_stride)]
+        # Memoised per type: the aDVF loop asks once per participation, and
+        # rebuilding 64 pattern objects each time dominated small analyses.
+        patterns = self._cache.get(ir_type.name)
+        if patterns is None:
+            width = ir_type.bits
+            patterns = self._cache[ir_type.name] = [
+                ErrorPattern((bit,)) for bit in range(0, width, self.bit_stride)
+            ]
+        return patterns
 
 
 class MultiBitModel(ErrorModel):
@@ -153,13 +161,17 @@ class MultiBitModel(ErrorModel):
         self.bit_stride = bit_stride
         kind = "contiguous" if separation == 1 else f"separated-{separation}"
         self.name = f"double-bit-{kind}"
+        self._cache: dict = {}
 
     def patterns_for(self, ir_type: IRType) -> List[ErrorPattern]:
-        width = ir_type.bits
-        return [
-            ErrorPattern((bit, bit + self.separation))
-            for bit in range(0, width - self.separation, self.bit_stride)
-        ]
+        patterns = self._cache.get(ir_type.name)
+        if patterns is None:
+            width = ir_type.bits
+            patterns = self._cache[ir_type.name] = [
+                ErrorPattern((bit, bit + self.separation))
+                for bit in range(0, width - self.separation, self.bit_stride)
+            ]
+        return patterns
 
 
 def patterns_by_class(

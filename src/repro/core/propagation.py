@@ -75,6 +75,40 @@ class PropagationAnalyzer:
         self._index_trace()
 
     def _index_trace(self) -> None:
+        from repro.tracing.columnar import LOAD_CODE, ColumnarTrace
+
+        cols = (
+            self.trace.columns() if isinstance(self.trace, ColumnarTrace) else None
+        )
+        if cols is not None:
+            # columnar fast path: the same indices, built from the integer
+            # columns instead of a per-event materialising scan.  Ascending
+            # flat/event order makes "last assignment wins" in the zips
+            # equivalent to the scan's forward overwrites.
+            import numpy as np
+
+            used = cols.producers >= 0
+            self._last_use = dict(
+                zip(cols.producers[used].tolist(), cols.owner[used].tolist())
+            )
+            loads = np.nonzero((cols.opcode == LOAD_CODE) & (cols.address >= 0))[0]
+            self._last_load_of_address = dict(
+                zip(cols.address[loads].tolist(), loads.tolist())
+            )
+            touched = np.nonzero(cols.address >= 0)[0]
+            names = {i: n for n, i in cols.object_index.items()}
+            cache = {}
+            for address, oid, element in zip(
+                cols.address[touched].tolist(),
+                cols.object_id[touched].tolist(),
+                cols.element[touched].tolist(),
+            ):
+                cache[address] = (
+                    names.get(oid) if oid >= 0 else None,
+                    element if element >= 0 else None,
+                )
+            self._addr_cache = cache
+            return
         for event in self.trace:
             for producer in event.operand_producers:
                 if producer >= 0:

@@ -58,6 +58,13 @@ class ReplayContext:
     detect_convergence:
         Stop a replay early when its state matches the golden execution
         again (the outcome is then provably the golden outcome).
+    sink:
+        Optional trace sink (any ``TraceSink``, e.g. a
+        :class:`~repro.tracing.columnar.ColumnarTrace`) that records the
+        golden run while the snapshot schedule is captured, so consumers
+        needing both the golden trace and replay injection — the aDVF
+        engine — pay for a single golden execution.  Exposed afterwards as
+        :attr:`golden_trace` (a ``TraceLike`` when a full sink was given).
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class ReplayContext:
         checkpoint_interval: Optional[int] = None,
         target_checkpoints: int = 64,
         detect_convergence: bool = True,
+        sink=None,
     ) -> None:
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError(
@@ -79,6 +87,7 @@ class ReplayContext:
             engine = Engine(
                 self.instance.module,
                 self.instance.memory,
+                sink=sink,
                 snapshot_interval=checkpoint_interval,
                 max_steps=workload.max_steps,
             )
@@ -86,11 +95,14 @@ class ReplayContext:
             engine = Engine(
                 self.instance.module,
                 self.instance.memory,
+                sink=sink,
                 snapshot_interval=64,
                 snapshot_budget=2 * max(1, target_checkpoints),
                 max_steps=workload.max_steps,
             )
         result = engine.run(workload.entry, self.instance.args)
+        #: The golden dynamic trace, when a recording sink was supplied.
+        self.golden_trace = sink
         self.checkpoint_interval = engine.snapshot_interval
         self.snapshots: List[Snapshot] = engine.snapshots
         self._snapshot_positions = [snap.dyn for snap in self.snapshots]

@@ -6,7 +6,8 @@ exactly the participation list of the object (consumed operands plus store
 destinations), crossed with the bit positions of the element type.  Both the
 exhaustive validator and the random fault injector draw their sites from
 here so the two campaigns and the aDVF model share one definition of the
-fault space.
+fault space.  Any trace-like source works; columnar traces get the
+vectorized participation pass automatically.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.core.participation import Participation, ParticipationRole, find_participations
-from repro.tracing.trace import Trace
+from repro.tracing.cursor import TraceLike
 from repro.vm.faults import FaultSpec, FaultTarget
 
 
@@ -46,7 +47,7 @@ class FaultSite:
 
 
 def enumerate_fault_sites(
-    trace: Trace,
+    trace: TraceLike,
     object_name: str,
     bit_stride: int = 1,
     max_participations: Optional[int] = None,

@@ -5,19 +5,30 @@ constructor arguments (workload objects themselves are not pickled — the
 kernels hold compiled IR with unpicklable back-references), runs its share
 of the work, and sends back plain result objects.  Work is split
 deterministically so parallel results equal sequential ones.
+
+For aDVF analyses the golden trace is built (or fetched from the trace
+cache) **once per campaign** and shipped to workers as a file-backed
+columnar artifact: each worker process loads the ``.npz`` instead of
+re-tracing the workload per chunk, and keeps it cached for later chunks of
+the same campaign.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.acceptance import OutcomeClass
 from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.parallel.partition import chunk_evenly
+from repro.tracing.cache import TraceCache, trace_digest
+from repro.tracing.columnar import ColumnarTrace, artifact_suffix
 from repro.vm.faults import FaultSpec
 
 #: Called after each worker chunk completes with ``(chunks_done, chunks_total)``.
@@ -117,11 +128,25 @@ def _inject_chunk(
     return results
 
 
+#: Per-worker-process columnar-trace cache, keyed by artifact path.  A
+#: persistent pool analyses many chunks of the same campaign; the golden
+#: trace is deserialised once per process, not once per chunk.
+_WORKER_TRACES: Dict[str, ColumnarTrace] = {}
+
+
+def _worker_trace(trace_path: str) -> ColumnarTrace:
+    trace = _WORKER_TRACES.get(trace_path)
+    if trace is None:
+        trace = _WORKER_TRACES[trace_path] = ColumnarTrace.load(trace_path)
+    return trace
+
+
 def _analyze_objects_chunk(
     workload_name: str,
     workload_kwargs: Dict[str, object],
     object_names: List[str],
     config: AnalysisConfig,
+    trace_path: Optional[str] = None,
 ) -> List[Tuple[str, ObjectReport]]:
     from repro.core.advf import AdvfEngine
     from repro.workloads.registry import get_workload
@@ -129,9 +154,12 @@ def _analyze_objects_chunk(
     # One workload + one AdvfEngine per worker chunk: the compiled module,
     # the golden trace, the propagation indices and the injector's replay
     # context are built once and reused for every object in the chunk
-    # (the seed rebuilt all of them per object).
+    # (the seed rebuilt all of them per object).  When the parent shipped a
+    # file-backed golden trace, the worker loads that artifact instead of
+    # re-tracing the workload.
     workload = get_workload(workload_name, **workload_kwargs)
-    engine = AdvfEngine(workload, config)
+    trace = _worker_trace(trace_path) if trace_path is not None else None
+    engine = AdvfEngine(workload, config, trace=trace)
     return [(name, engine.analyze_object(name)) for name in object_names]
 
 
@@ -157,6 +185,44 @@ class CampaignRunner:
     _pool: Optional[ProcessPoolExecutor] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _trace_path: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _trace_tmpdir: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # golden-trace artifact
+    # ------------------------------------------------------------------ #
+    def trace_artifact(self) -> str:
+        """Path of the campaign's file-backed columnar golden trace.
+
+        Built (or fetched from the :class:`~repro.tracing.cache.TraceCache`)
+        once per runner; all analysis chunks — in-process or in worker
+        processes — load this artifact instead of re-tracing the workload.
+        With the cache disabled (``REPRO_TRACE_CACHE=off``) the artifact
+        lives in a temporary directory released by :meth:`close`.
+        """
+        if self._trace_path is not None:
+            return self._trace_path
+        digest = trace_digest(self.workload_name, self.workload_kwargs)
+        cache = TraceCache.from_env()
+        if cache is not None:
+            cache.get_or_build(digest, self._build_golden_trace)
+            self._trace_path = str(cache.find(digest))
+        else:
+            self._trace_tmpdir = tempfile.mkdtemp(prefix="repro-trace-")
+            path = Path(self._trace_tmpdir) / f"{digest}{artifact_suffix()}"
+            self._build_golden_trace().save(path)
+            self._trace_path = str(path)
+        return self._trace_path
+
+    def _build_golden_trace(self) -> ColumnarTrace:
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload(self.workload_name, **self.workload_kwargs)
+        return workload.traced_run(columnar=True).trace
 
     def run_injections(
         self,
@@ -243,10 +309,14 @@ class CampaignRunner:
         return self._pool
 
     def close(self) -> None:
-        """Release the persistent pool (no-op unless ``keep_pool=True``)."""
+        """Release the persistent pool and any temporary trace artifact."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._trace_tmpdir is not None:
+            shutil.rmtree(self._trace_tmpdir, ignore_errors=True)
+            self._trace_tmpdir = None
+            self._trace_path = None
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -263,18 +333,24 @@ class CampaignRunner:
         """aDVF analyses fanned out as one object *chunk* per worker.
 
         Objects of the same workload share everything that is per-workload:
-        each worker builds the workload, the golden trace and the injector's
-        checkpoint schedule exactly once for its whole chunk instead of once
-        per object.
+        the golden trace is built once in the parent (or served by the
+        trace cache) and shipped as a columnar artifact that each worker
+        process loads once; workers build the workload and the injector's
+        checkpoint schedule once per chunk instead of once per object.
         """
         config = config or AnalysisConfig()
         names = list(object_names)
         if not names:
             return {}
+        try:
+            trace_path = self.trace_artifact()
+        except Exception as exc:
+            raise CampaignChunkError(self.workload_name, 0, names, exc) from exc
         if self.workers <= 1 or len(names) == 1:
             try:
                 pairs = _analyze_objects_chunk(
-                    self.workload_name, self.workload_kwargs, names, config
+                    self.workload_name, self.workload_kwargs, names, config,
+                    trace_path,
                 )
             except Exception as exc:
                 raise CampaignChunkError(self.workload_name, 0, names, exc) from exc
@@ -287,7 +363,7 @@ class CampaignRunner:
         per_chunk = self._collect(
             _analyze_objects_chunk,
             [
-                (self.workload_name, self.workload_kwargs, chunk, config)
+                (self.workload_name, self.workload_kwargs, chunk, config, trace_path)
                 for chunk in chunks
             ],
             chunks,

@@ -7,6 +7,7 @@ Public API
 :func:`~repro.reporting.tables.format_outcome_table`,
 :func:`~repro.reporting.tables.format_advf_report_table`,
 :func:`~repro.reporting.tables.format_campaign_list`,
+:func:`~repro.reporting.tables.format_shard_table`,
 :func:`~repro.reporting.figures.stacked_bar_chart`,
 :func:`~repro.reporting.figures.advf_level_breakdown_rows`,
 :func:`~repro.reporting.figures.advf_category_breakdown_rows`.
@@ -16,6 +17,7 @@ from repro.reporting.tables import (
     format_advf_report_table,
     format_campaign_list,
     format_outcome_table,
+    format_shard_table,
     format_table,
     table1_rows,
 )
@@ -32,6 +34,7 @@ __all__ = [
     "format_outcome_table",
     "format_advf_report_table",
     "format_campaign_list",
+    "format_shard_table",
     "advf_category_breakdown_rows",
     "advf_level_breakdown_rows",
     "bar_chart",

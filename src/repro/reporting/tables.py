@@ -131,6 +131,41 @@ def format_advf_report_table(reports: Dict[str, Dict[str, object]]) -> str:
     )
 
 
+def format_shard_table(
+    rows: Sequence[Dict[str, object]], limit: Optional[int] = None
+) -> str:
+    """Per-shard execution view for ``python -m repro campaign status``.
+
+    Each row is a flat dict with ``shard``, ``object``, ``batch``, ``run``,
+    ``specs``, ``inject_s`` and ``analysis_s`` keys (assembled by the CLI
+    from the store's shard records).  ``analysis_s`` is the time the
+    analysis passes — participation discovery and fault-site enumeration
+    over the cached columnar trace — spent on the shard's data object;
+    ``inject_s`` is the shard's injection wall-clock.
+    """
+    rendered = []
+    for row in (rows if limit is None else rows[-limit:]):
+        specs = int(row["specs"])  # type: ignore[arg-type]
+        inject_s = float(row["inject_s"])  # type: ignore[arg-type]
+        rendered.append(
+            [
+                row["shard"],
+                row["object"],
+                row["batch"],
+                row["run"],
+                specs,
+                f"{inject_s:.2f}",
+                f"{float(row['analysis_s']):.3f}",  # type: ignore[arg-type]
+                f"{specs / inject_s:.0f}" if inject_s > 0 else "-",
+            ]
+        )
+    return format_table(
+        ["shard", "object", "batch", "run", "specs", "inject s", "analysis s",
+         "specs/s"],
+        rendered,
+    )
+
+
 def format_campaign_list(
     rows: Sequence[Dict[str, object]], limit: Optional[int] = None
 ) -> str:

@@ -19,6 +19,8 @@ Public API
 from repro.tracing.events import OperandKind, TraceEvent
 from repro.tracing.trace import Trace, TraceSummary
 from repro.tracing.cursor import TraceCursor, TraceLike
+from repro.tracing.columnar import ColumnarTrace, TraceColumns, have_numpy
+from repro.tracing.cache import TraceCache, trace_digest
 from repro.tracing.sinks import ColumnarTraceSink, CountingSink, TraceSink
 from repro.tracing.serialize import (
     trace_to_jsonl,
@@ -35,8 +37,13 @@ __all__ = [
     "TraceCursor",
     "TraceLike",
     "TraceSink",
+    "ColumnarTrace",
+    "TraceColumns",
     "ColumnarTraceSink",
     "CountingSink",
+    "TraceCache",
+    "trace_digest",
+    "have_numpy",
     "trace_to_jsonl",
     "trace_from_jsonl",
     "save_trace",

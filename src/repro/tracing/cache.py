@@ -1,0 +1,128 @@
+"""Durable cache of golden-trace artifacts, keyed by workload digest.
+
+Golden traces are pure functions of ``(workload name, constructor kwargs)``
+— workloads are deterministic by contract — so the columnar artifact of a
+traced run can be computed once and shared by everything downstream:
+repeated campaign runs, resumed campaigns, and the worker processes of a
+parallel analysis all load the same ``.npz`` file instead of re-executing
+the workload.
+
+The cache directory comes from the ``REPRO_TRACE_CACHE`` environment
+variable (default ``~/.cache/repro/traces``); setting it to ``off`` (or
+``0`` / ``none``) disables persistent caching, in which case callers fall
+back to per-process temporary artifacts.  Artifacts are content-addressed
+by :func:`trace_digest` and written atomically, so concurrent writers of
+the same digest are harmless (last rename wins, both files are identical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.tracing.columnar import ColumnarTrace, artifact_suffix, have_numpy
+
+#: Default cache directory when ``REPRO_TRACE_CACHE`` is unset.
+DEFAULT_CACHE_DIR = "~/.cache/repro/traces"
+
+#: ``REPRO_TRACE_CACHE`` values that disable persistent caching.
+_DISABLED = frozenset({"0", "off", "none", "disabled"})
+
+#: Suffixes an artifact may carry (NumPy and pure-python writers differ).
+_SUFFIXES = (".npz", ".jsonl")
+
+
+def trace_digest(
+    workload_name: str, workload_kwargs: Optional[Dict[str, object]] = None
+) -> str:
+    """Content address of a workload's golden trace.
+
+    Two invocations with the same workload name and constructor kwargs
+    denote the same deterministic execution, hence the same trace.  The
+    columnar format version and the package version participate so a
+    layout change — or a release that may have touched workload kernels —
+    invalidates old artifacts instead of silently reusing a stale trace.
+    (Editing workload code *between* releases still requires clearing the
+    cache directory by hand; digests cannot see source edits.)
+    """
+    from repro.version import __version__
+
+    payload = json.dumps(
+        {
+            "workload": workload_name,
+            "workload_kwargs": dict(workload_kwargs or {}),
+            "trace_format": ColumnarTrace.FORMAT_VERSION,
+            "repro_version": __version__,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return "t" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class TraceCache:
+    """Filesystem cache of :class:`ColumnarTrace` artifacts.
+
+    ``hits``/``misses`` count :meth:`get_or_build` resolutions, so smoke
+    tests (and the campaign CLI's progress lines) can verify the cache is
+    actually being exercised.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["TraceCache"]:
+        """The cache configured by ``REPRO_TRACE_CACHE`` (``None`` = off)."""
+        raw = os.environ.get("REPRO_TRACE_CACHE")
+        if raw is not None and raw.strip().lower() in _DISABLED:
+            return None
+        return cls(raw.strip() if raw else DEFAULT_CACHE_DIR)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, digest: str) -> Path:
+        """Where a fresh artifact for ``digest`` would be written."""
+        return self.root / f"{digest}{artifact_suffix()}"
+
+    def find(self, digest: str) -> Optional[Path]:
+        """An existing artifact for ``digest``, whatever its format."""
+        for suffix in _SUFFIXES:
+            if suffix == ".npz" and not have_numpy():
+                continue  # written by a NumPy process, unreadable here
+            candidate = self.root / f"{digest}{suffix}"
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def load(self, digest: str) -> Optional[ColumnarTrace]:
+        path = self.find(digest)
+        if path is None:
+            return None
+        return ColumnarTrace.load(path)
+
+    def store(self, digest: str, trace: ColumnarTrace) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        return trace.save(self.path_for(digest))
+
+    def get_or_build(
+        self, digest: str, build: Callable[[], ColumnarTrace]
+    ) -> Tuple[ColumnarTrace, bool]:
+        """The cached trace for ``digest``, building and storing on miss.
+
+        Returns ``(trace, hit)`` where ``hit`` says whether the artifact
+        was served from disk.
+        """
+        cached = self.load(digest)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        trace = build()
+        self.store(digest, trace)
+        return trace, False

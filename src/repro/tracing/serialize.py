@@ -77,7 +77,7 @@ def event_from_dict(data: dict) -> TraceEvent:
 
 def trace_to_jsonl(trace: Trace) -> str:
     """Render a whole trace as JSON-lines text."""
-    return "\n".join(json.dumps(event_to_dict(e)) for e in trace.events)
+    return "\n".join(json.dumps(event_to_dict(e)) for e in trace)
 
 
 def trace_from_jsonl(text: str) -> Trace:

@@ -5,10 +5,12 @@ The engine (:mod:`repro.vm.engine`) streams its dynamic events into a
 
 * the aDVF analyses need every field of every event — the classic in-memory
   :class:`~repro.tracing.trace.Trace`;
-* trace post-processing and serialization only need the raw columns — the
-  :class:`ColumnarTraceSink` stores them as parallel flat lists, several
-  times smaller than a list of event objects, and reconstructs
-  :class:`~repro.tracing.events.TraceEvent` views on demand;
+* trace post-processing, serialization and the vectorized analysis passes
+  only need the raw columns — :class:`~repro.tracing.columnar.ColumnarTrace`
+  (historically exported here as ``ColumnarTraceSink``) stores them as
+  parallel flat columns, several times smaller than a list of event
+  objects, and reconstructs :class:`~repro.tracing.events.TraceEvent`
+  views on demand;
 * fault-injection replays need **nothing**: the :class:`CountingSink` keeps
   per-opcode tallies without ever materialising an event, so injection runs
   execute trace-free.
@@ -21,11 +23,11 @@ satisfies the protocol (``wants_events = True``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, Protocol, runtime_checkable
 
 from repro.ir.instructions import Opcode
-from repro.tracing.events import OperandKind, TraceEvent
-from repro.tracing.trace import Trace
+from repro.tracing.columnar import ColumnarTrace
+from repro.tracing.events import TraceEvent
 
 
 @runtime_checkable
@@ -80,147 +82,10 @@ class CountingSink:
         return f"<CountingSink: {self.total} events>"
 
 
-class ColumnarTraceSink:
-    """Compact columnar event storage.
 
-    Events are decomposed into parallel per-field lists; variable-length
-    fields (operand values / types / producers / kinds) are flattened into
-    one data list plus an offsets list, CSR style.  Compared to a list of
-    :class:`TraceEvent` objects this roughly halves the memory footprint and
-    keeps every column contiguous for analysis passes that only need one or
-    two fields.
 
-    Random access (``sink[i]``) reconstructs an equal :class:`TraceEvent`;
-    :meth:`to_trace` materialises a full :class:`Trace` when an analysis
-    needs the indexed query helpers.
-    """
-
-    wants_events = True
-
-    __slots__ = (
-        "_opcode", "_function", "_block", "_static_uid", "_source_line",
-        "_operand_data", "_operand_types", "_operand_producers",
-        "_operand_kinds", "_operand_offsets",
-        "_result_value", "_result_type", "_predicate", "_callee",
-        "_address", "_object_name", "_element_index", "_writer_id",
-        "_taken_label",
-    )
-
-    def __init__(self) -> None:
-        self._opcode: List[Opcode] = []
-        self._function: List[str] = []
-        self._block: List[str] = []
-        self._static_uid: List[int] = []
-        self._source_line: List[Optional[int]] = []
-        self._operand_data: List[object] = []
-        self._operand_types: List[object] = []
-        self._operand_producers: List[int] = []
-        self._operand_kinds: List[OperandKind] = []
-        self._operand_offsets: List[int] = [0]
-        self._result_value: List[Optional[object]] = []
-        self._result_type: List[Optional[object]] = []
-        self._predicate: List[Optional[str]] = []
-        self._callee: List[Optional[str]] = []
-        self._address: List[Optional[int]] = []
-        self._object_name: List[Optional[str]] = []
-        self._element_index: List[Optional[int]] = []
-        self._writer_id: List[int] = []
-        self._taken_label: List[Optional[str]] = []
-
-    # ------------------------------------------------------------------ #
-    # sink protocol
-    # ------------------------------------------------------------------ #
-    def append(self, event: TraceEvent) -> None:
-        if event.dynamic_id != len(self._opcode):
-            raise ValueError(
-                f"trace events must be appended in order: expected id "
-                f"{len(self._opcode)}, got {event.dynamic_id}"
-            )
-        self._opcode.append(event.opcode)
-        self._function.append(event.function)
-        self._block.append(event.block)
-        self._static_uid.append(event.static_uid)
-        self._source_line.append(event.source_line)
-        self._operand_data.extend(event.operand_values)
-        self._operand_types.extend(event.operand_types)
-        self._operand_producers.extend(event.operand_producers)
-        self._operand_kinds.extend(event.operand_kinds)
-        self._operand_offsets.append(len(self._operand_data))
-        self._result_value.append(event.result_value)
-        self._result_type.append(event.result_type)
-        self._predicate.append(event.predicate)
-        self._callee.append(event.callee)
-        self._address.append(event.address)
-        self._object_name.append(event.object_name)
-        self._element_index.append(event.element_index)
-        self._writer_id.append(event.writer_id)
-        self._taken_label.append(event.taken_label)
-
-    def tick(self, opcode: Opcode) -> None:  # pragma: no cover - not used
-        raise TypeError("ColumnarTraceSink stores full events; use append()")
-
-    # ------------------------------------------------------------------ #
-    # read access (TraceLike: len / getitem / iter)
-    # ------------------------------------------------------------------ #
-    def __len__(self) -> int:
-        return len(self._opcode)
-
-    def __getitem__(self, dynamic_id: int) -> TraceEvent:
-        if dynamic_id < 0:
-            dynamic_id += len(self._opcode)
-        if not 0 <= dynamic_id < len(self._opcode):
-            raise IndexError(f"trace index {dynamic_id} out of range")
-        lo = self._operand_offsets[dynamic_id]
-        hi = self._operand_offsets[dynamic_id + 1]
-        return TraceEvent(
-            dynamic_id=dynamic_id,
-            opcode=self._opcode[dynamic_id],
-            function=self._function[dynamic_id],
-            block=self._block[dynamic_id],
-            static_uid=self._static_uid[dynamic_id],
-            source_line=self._source_line[dynamic_id],
-            operand_values=tuple(self._operand_data[lo:hi]),
-            operand_types=tuple(self._operand_types[lo:hi]),
-            operand_producers=tuple(self._operand_producers[lo:hi]),
-            operand_kinds=tuple(self._operand_kinds[lo:hi]),
-            result_value=self._result_value[dynamic_id],
-            result_type=self._result_type[dynamic_id],
-            predicate=self._predicate[dynamic_id],
-            callee=self._callee[dynamic_id],
-            address=self._address[dynamic_id],
-            object_name=self._object_name[dynamic_id],
-            element_index=self._element_index[dynamic_id],
-            writer_id=self._writer_id[dynamic_id],
-            taken_label=self._taken_label[dynamic_id],
-        )
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        for dynamic_id in range(len(self._opcode)):
-            yield self[dynamic_id]
-
-    # ------------------------------------------------------------------ #
-    # conversions and column views
-    # ------------------------------------------------------------------ #
-    def to_trace(self) -> Trace:
-        """Materialise a full :class:`Trace` (with its query indices)."""
-        trace = Trace()
-        for event in self:
-            trace.append(event)
-        return trace
-
-    def opcode_histogram(self) -> Dict[str, int]:
-        histogram: Dict[str, int] = {}
-        for opcode in self._opcode:
-            histogram[opcode.value] = histogram.get(opcode.value, 0) + 1
-        return histogram
-
-    def addresses(self) -> List[Tuple[int, int]]:
-        """``(dynamic_id, address)`` for every memory access, in order."""
-        return [
-            (i, address)
-            for i, address in enumerate(self._address)
-            if address is not None
-        ]
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ColumnarTraceSink: {len(self)} events>"
+#: The compact columnar sink of PR 1, promoted to the first-class
+#: :class:`~repro.tracing.columnar.ColumnarTrace` (struct-of-arrays store
+#: with NumPy column views, ``.npz`` persistence and a trace cache).  The
+#: old name remains the canonical alias for "a compact sink to record into".
+ColumnarTraceSink = ColumnarTrace

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.ir.instructions import Opcode
@@ -35,9 +36,26 @@ class Trace:
     wants_events = True
 
     def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+        self._events: List[TraceEvent] = []
         #: name -> list of dynamic ids of events touching the object's memory
         self._touch_index: Dict[str, List[int]] = {}
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Deprecated: the concrete event list.
+
+        Reaching into ``Trace.events`` ties callers to the full in-memory
+        trace; analyses should go through the ``TraceLike`` protocol
+        (``len`` / indexing / iteration, see :mod:`repro.tracing.cursor`)
+        so they also accept the columnar store.
+        """
+        warnings.warn(
+            "direct Trace.events access is deprecated; iterate/index the "
+            "trace itself (TraceLike protocol) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._events
 
     def tick(self, opcode: Opcode) -> None:  # pragma: no cover - protocol
         raise TypeError("Trace stores full events; use append()")
@@ -46,12 +64,12 @@ class Trace:
     # construction
     # ------------------------------------------------------------------ #
     def append(self, event: TraceEvent) -> None:
-        if event.dynamic_id != len(self.events):
+        if event.dynamic_id != len(self._events):
             raise ValueError(
                 f"trace events must be appended in order: expected id "
-                f"{len(self.events)}, got {event.dynamic_id}"
+                f"{len(self._events)}, got {event.dynamic_id}"
             )
-        self.events.append(event)
+        self._events.append(event)
         if event.object_name is not None:
             self._touch_index.setdefault(event.object_name, []).append(event.dynamic_id)
 
@@ -59,20 +77,20 @@ class Trace:
     # basic container protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
+        return iter(self._events)
 
     def __getitem__(self, dynamic_id: int) -> TraceEvent:
-        return self.events[dynamic_id]
+        return self._events[dynamic_id]
 
     # ------------------------------------------------------------------ #
     # queries used by the MOARD analyses
     # ------------------------------------------------------------------ #
     def memory_events_for(self, object_name: str) -> List[TraceEvent]:
         """All loads/stores whose address resolves into ``object_name``."""
-        return [self.events[i] for i in self._touch_index.get(object_name, [])]
+        return [self._events[i] for i in self._touch_index.get(object_name, [])]
 
     def loads_for(self, object_name: str) -> List[TraceEvent]:
         return [e for e in self.memory_events_for(object_name) if e.is_load]
@@ -86,11 +104,11 @@ class Trace:
         ``window`` bounds how far forward to look (number of subsequent
         events); ``None`` scans to the end of the trace.
         """
-        end = len(self.events) if window is None else min(
-            len(self.events), dynamic_id + 1 + window
+        end = len(self._events) if window is None else min(
+            len(self._events), dynamic_id + 1 + window
         )
         out: List[TraceEvent] = []
-        for event in self.events[dynamic_id + 1 : end]:
+        for event in self._events[dynamic_id + 1 : end]:
             if dynamic_id in event.operand_producers:
                 out.append(event)
         return out
@@ -100,7 +118,7 @@ class Trace:
         producer = event.operand_producers[operand_index]
         if producer < 0:
             return None
-        return self.events[producer]
+        return self._events[producer]
 
     def operand_is_direct_load_of(
         self, event: TraceEvent, operand_index: int, object_name: str
@@ -124,11 +142,11 @@ class Trace:
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
         """Events satisfying ``predicate`` (keeps order)."""
-        return [e for e in self.events if predicate(e)]
+        return [e for e in self._events if predicate(e)]
 
     def slice(self, start: int, count: int) -> List[TraceEvent]:
         """``count`` events starting at dynamic id ``start``."""
-        return self.events[start : start + count]
+        return self._events[start : start + count]
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -138,7 +156,7 @@ class Trace:
         objects: Dict[str, int] = {}
         functions: Dict[str, int] = {}
         loads = stores = 0
-        for event in self.events:
+        for event in self._events:
             by_opcode[event.opcode.value] = by_opcode.get(event.opcode.value, 0) + 1
             functions[event.function] = functions.get(event.function, 0) + 1
             if event.is_load:
@@ -148,7 +166,7 @@ class Trace:
             if event.object_name is not None:
                 objects[event.object_name] = objects.get(event.object_name, 0) + 1
         return TraceSummary(
-            total_events=len(self.events),
+            total_events=len(self._events),
             by_opcode=by_opcode,
             loads=loads,
             stores=stores,
@@ -160,4 +178,4 @@ class Trace:
         return self.summary().by_opcode
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Trace: {len(self.events)} events>"
+        return f"<Trace: {len(self._events)} events>"

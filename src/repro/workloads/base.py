@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.acceptance import AcceptanceCriterion, RelativeTolerance
 from repro.frontend.compiler import compile_kernels
 from repro.ir.function import Module
+from repro.tracing.columnar import ColumnarTrace
 from repro.tracing.sinks import TraceSink
 from repro.tracing.trace import Trace
 from repro.vm.engine import Engine
@@ -176,15 +177,23 @@ class Workload(ABC):
         return WorkloadInstance(self, self.module(), memory, args)
 
     # convenience wrappers -------------------------------------------------
-    def golden_run(self, with_trace: bool = False) -> RunOutcome:
-        """Fault-free execution (optionally traced)."""
+    def golden_run(
+        self, with_trace: bool = False, sink: Optional[TraceSink] = None
+    ) -> RunOutcome:
+        """Fault-free execution (optionally traced, into any sink)."""
         instance = self.fresh_instance()
-        trace = Trace() if with_trace else None
+        trace = sink if sink is not None else (Trace() if with_trace else None)
         return instance.run(trace=trace)
 
-    def traced_run(self) -> RunOutcome:
-        """Fault-free execution with a dynamic trace attached."""
-        return self.golden_run(with_trace=True)
+    def traced_run(self, columnar: bool = False) -> RunOutcome:
+        """Fault-free execution with a dynamic trace attached.
+
+        ``columnar=True`` records into a
+        :class:`~repro.tracing.columnar.ColumnarTrace` — the compact,
+        array-backed store the vectorized aDVF passes consume — instead of
+        the classic in-memory :class:`~repro.tracing.trace.Trace`.
+        """
+        return self.golden_run(sink=ColumnarTrace() if columnar else Trace())
 
     def describe(self) -> Dict[str, object]:
         """Metadata row used to regenerate Table I."""

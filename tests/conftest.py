@@ -16,6 +16,16 @@ from repro.tracing import Trace
 from repro.vm import Interpreter, Memory
 
 
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path, monkeypatch):
+    """Point the golden-trace cache at a per-test directory.
+
+    Keeps the suite from writing into (or reading stale artifacts from)
+    the user-level ``~/.cache/repro/traces`` default.
+    """
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+
+
 # --------------------------------------------------------------------- #
 # tiny kernels used across VM / tracing / core tests
 # --------------------------------------------------------------------- #

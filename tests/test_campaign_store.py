@@ -84,6 +84,30 @@ class TestSchema:
         with pytest.raises(StoreVersionError, match="schema version 999"):
             CampaignStore(path)
 
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        """v2 only adds defaulted columns, so v1 stores upgrade losslessly."""
+        path = tmp_path / "v1.sqlite"
+        with CampaignStore(path) as s:
+            cid = s.ensure_campaign("matmul", {}, PLAN, 32)
+            run = s.begin_run(cid)
+            s.record_shard(cid, 0, "C", 0, run, 0.1, _results())
+        # rewind the file to schema v1 by dropping the v2 columns
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE campaigns DROP COLUMN trace_digest")
+        conn.execute("ALTER TABLE shards DROP COLUMN analysis_s")
+        conn.execute("UPDATE meta SET value = '1' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with CampaignStore(path) as s:
+            assert s.schema_version == SCHEMA_VERSION
+            record = s.campaign(cid)
+            assert record.trace_digest == ""
+            assert len(s.outcomes(cid)) == 4
+            shard = s.completed_shards(cid)[0]
+            assert shard.analysis_s == 0.0
+            s.set_trace_digest(cid, "tdeadbeef")
+            assert s.campaign(cid).trace_digest == "tdeadbeef"
+
     def test_reopen_preserves_rows(self, tmp_path):
         path = tmp_path / "c.sqlite"
         with CampaignStore(path) as s:
