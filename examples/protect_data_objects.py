@@ -1,12 +1,21 @@
 """Model-driven protection decisions (the paper's motivating use case).
 
-Given a fault-tolerance budget that can protect only some data objects
-(e.g. with checksums or selective replication), use aDVF to decide *which*
-objects are worth protecting: low-aDVF objects are the vulnerable ones.
+Given a fault-tolerance budget, use aDVF to decide *which* data objects
+are worth protecting and *how* — then close the loop: apply the chosen
+protection and validate by injection campaign that the protected program
+really is less vulnerable.
 
-The script analyses the CG benchmark's data objects, validates the ranking
-against a small exhaustive fault-injection campaign, and prints the
-protection recommendation.
+The script walks the full advisor pipeline on the CG benchmark:
+
+1. measure — aDVF reports for CG's data objects (plus a small exhaustive
+   campaign as the classic ranking cross-check);
+2. plan — the budgeted advisor picks protection schemes per object under a
+   2x runtime-overhead budget;
+3. apply — the protected workload variant is instantiated (generic
+   duplicate-and-compare synthesised at the IR level) and its measured
+   overhead checked against the cost model;
+4. validate — the same injection campaign runs against baseline and
+   protected programs; the corrected/benign fraction must move up.
 
 Run with:  python examples/protect_data_objects.py
 """
@@ -16,14 +25,26 @@ from __future__ import annotations
 from repro.core.advf import AdvfEngine, AnalysisConfig
 from repro.core.exhaustive import ExhaustiveCampaign, rank_by_success_rate
 from repro.core.patterns import SingleBitModel
-from repro.reporting import format_table
+from repro.protection import (
+    ProtectionAdvisor,
+    apply_plan,
+    measure_overhead,
+    validate_plan,
+)
+from repro.reporting import (
+    format_protection_plan_table,
+    format_table,
+    format_validation_table,
+)
 from repro.workloads.cg import CGWorkload
 
 OBJECTS = ["r", "p", "q", "a", "colidx", "rowstr"]
+KWARGS = {"n": 12, "cgitmax": 2}
+BUDGET = 2.0
 
 
 def main() -> None:
-    workload = CGWorkload(n=12, cgitmax=2)
+    workload = CGWorkload(**KWARGS)
     config = AnalysisConfig(
         max_injections=60,
         error_model=SingleBitModel(bit_stride=8),
@@ -33,7 +54,8 @@ def main() -> None:
 
     print("computing aDVF for CG data objects ...")
     engine = AdvfEngine(workload, config)
-    advf = {name: engine.analyze_object(name).result for name in OBJECTS}
+    reports = {name: engine.analyze_object(name) for name in OBJECTS}
+    advf = {name: reports[name].result for name in OBJECTS}
 
     print("validating the ranking with a strided exhaustive injection campaign ...")
     trace = workload.traced_run().trace
@@ -58,12 +80,44 @@ def main() -> None:
     print("most vulnerable first (aDVF)      :", advf_ranking)
     print("most vulnerable first (exhaustive):", fi_ranking)
 
-    budget = 2
+    print()
+    print(f"asking the advisor for a plan under a {BUDGET:g}x overhead budget ...")
+    advisor = ProtectionAdvisor(workload, engine.trace, workload_kwargs=KWARGS)
+    plan = advisor.advise(reports, budget=BUDGET)
+    print()
+    print(format_protection_plan_table(plan.to_dict()))
+
+    print()
+    print("applying the plan ...")
+    protected = apply_plan(plan)
+    measured = measure_overhead(workload, protected)
+    print(
+        f"protected variant {protected.name!r}: measured {measured['extra_ops']} "
+        f"extra ops ({measured['overhead_ratio']:.2f}x), predicted "
+        f"{plan.predicted_extra_ops} ({plan.predicted_overhead:.2f}x); "
+        f"golden outputs identical: {measured['outputs_identical']}"
+    )
+
+    print()
+    print("closing the loop: injection campaigns on baseline vs protected ...")
+    report = validate_plan(plan, bit_stride=16, max_tests=30, protected=protected)
     print()
     print(
-        f"with a budget to protect {budget} data objects, protect: "
-        f"{advf_ranking[:budget]} (lowest aDVF = least inherent masking)"
+        format_validation_table(
+            [
+                {
+                    "object": outcome.object_name,
+                    "scheme": outcome.scheme,
+                    "variant": outcome.variant,
+                    "tests": outcome.tests,
+                    "successes": outcome.successes,
+                }
+                for outcome in report.outcomes
+            ]
+        )
     )
+    for name in plan.protected_objects():
+        print(f"{name}: corrected/benign fraction moved {report.improvement(name):+.3f}")
 
 
 if __name__ == "__main__":

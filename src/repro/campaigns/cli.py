@@ -7,6 +7,7 @@ Subcommands::
     repro campaign status [TARGET]                      progress + outcome tables
     repro campaign export TARGET [--out FILE]           JSONL dump of the store rows
     repro campaign report TARGET [options]              aDVF tables (from the store)
+    repro protect plan|apply|validate|report ...        selective protection
     repro workloads                                     list registered workloads
 
 ``TARGET`` is either a campaign id (``c0123abcd…`` as printed by ``run``)
@@ -35,6 +36,7 @@ from repro.campaigns.plans import parse_plan, plan_from_dict
 from repro.campaigns.store import CampaignStore, compute_campaign_id
 from repro.core.advf import AnalysisConfig
 from repro.core.patterns import SingleBitModel
+from repro.protection import cli as protect_cli
 from repro.reporting import (
     format_advf_report_table,
     format_campaign_list,
@@ -137,6 +139,8 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--refresh", action="store_true",
                         help="recompute reports even if already stored")
     common(report, with_exec=True)
+
+    protect_cli.register(sub, common)
 
     return parser
 
@@ -356,6 +360,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "workloads":
             return _cmd_workloads()
+        if args.command == "protect":
+            return protect_cli.dispatch(
+                args,
+                open_store=_open_store,
+                parse_set=_parse_set,
+                say=lambda line: print(line, file=sys.stderr),
+            )
         action = {
             "run": _cmd_run,
             "resume": _cmd_resume,

@@ -19,9 +19,15 @@ Design points:
   shards record which run executed them, so tests (and operators) can
   verify a resume re-executed only the unfinished shards.
 * **Schema versioning.**  The schema version is stamped into the file on
-  creation and checked on open; v1 stores are migrated in place (v2 only
-  adds defaulted columns), any other mismatch raises
-  :class:`StoreVersionError` instead of silently misreading rows.
+  creation and checked on open; older stores are migrated in place (v2
+  only adds defaulted columns, v3 only adds the protection tables), any
+  other mismatch raises :class:`StoreVersionError` instead of silently
+  misreading rows.
+* **Protection rows (v3).**  The selective-protection subsystem
+  (:mod:`repro.protection`) persists its advisor plans
+  (``protection_plans``) and the closed-loop validation campaigns run
+  against the protected variants (``validation_runs``), so
+  ``python -m repro protect report`` renders entirely from the store.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from repro.core.advf import ObjectReport
 from repro.core.injector import FaultInjectionResult
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -98,6 +104,26 @@ CREATE TABLE IF NOT EXISTS reports (
     report      TEXT NOT NULL,
     recorded_at REAL NOT NULL,
     PRIMARY KEY (campaign_id, object_name)
+);
+CREATE TABLE IF NOT EXISTS protection_plans (
+    plan_id         TEXT PRIMARY KEY,
+    workload        TEXT NOT NULL,
+    workload_kwargs TEXT NOT NULL,
+    budget          REAL NOT NULL,
+    plan            TEXT NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'planned',
+    created_at      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS validation_runs (
+    plan_id     TEXT NOT NULL,
+    object_name TEXT NOT NULL,
+    variant     TEXT NOT NULL,
+    scheme      TEXT NOT NULL DEFAULT '',
+    tests       INTEGER NOT NULL,
+    successes   INTEGER NOT NULL,
+    histogram   TEXT NOT NULL DEFAULT '{}',
+    recorded_at REAL NOT NULL,
+    PRIMARY KEY (plan_id, object_name, variant)
 );
 """
 
@@ -182,6 +208,43 @@ class StoredOutcome:
         )
 
 
+@dataclass(frozen=True)
+class ProtectionPlanRecord:
+    """One row of the ``protection_plans`` table (v3)."""
+
+    plan_id: str
+    workload: str
+    workload_kwargs: Dict[str, object]
+    budget: float
+    #: Full :meth:`repro.protection.advisor.ProtectionPlan.to_dict` payload.
+    plan: Dict[str, object]
+    status: str
+    created_at: float
+
+
+@dataclass(frozen=True)
+class ValidationRunRecord:
+    """One closed-loop validation campaign row (v3).
+
+    ``variant`` is ``"baseline"`` (the unprotected workload) or
+    ``"protected"`` (the plan's applied variant); ``successes`` counts
+    corrected/benign outcomes, so ``successes / tests`` is the masked
+    fraction the closed loop compares across variants.
+    """
+
+    plan_id: str
+    object_name: str
+    variant: str
+    scheme: str
+    tests: int
+    successes: int
+    histogram: Dict[str, int]
+
+    @property
+    def masked_fraction(self) -> float:
+        return self.successes / self.tests if self.tests else 0.0
+
+
 @dataclass
 class CampaignStatus:
     """Aggregate progress view of one campaign."""
@@ -227,6 +290,8 @@ class CampaignStore:
             version = int(row[0])
             if version == 1:
                 version = self._migrate_v1_to_v2()
+            if version == 2:
+                version = self._migrate_v2_to_v3()
             if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
@@ -256,6 +321,15 @@ class CampaignStore:
             "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
         )
         return 2
+
+    def _migrate_v2_to_v3(self) -> int:
+        """v2 → v3: only adds the (empty) protection tables, which the
+        ``CREATE TABLE IF NOT EXISTS`` schema script has already created;
+        existing campaign rows are untouched."""
+        self._conn.execute(
+            "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
+        )
+        return 3
 
     @property
     def schema_version(self) -> int:
@@ -559,6 +633,127 @@ class CampaignStore:
                 (campaign_id,),
             )
         }
+
+    # ------------------------------------------------------------------ #
+    # protection plans + closed-loop validation (schema v3)
+    # ------------------------------------------------------------------ #
+    def save_protection_plan(
+        self,
+        plan_id: str,
+        workload: str,
+        workload_kwargs: Dict[str, object],
+        budget: float,
+        plan: Dict[str, object],
+    ) -> None:
+        """Persist an advisor plan (idempotent: plans are content-addressed)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO protection_plans "
+                "(plan_id, workload, workload_kwargs, budget, plan, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    plan_id,
+                    workload,
+                    _canonical_json(workload_kwargs),
+                    budget,
+                    _canonical_json(plan),
+                    time.time(),
+                ),
+            )
+
+    def protection_plan(self, plan_id: str) -> ProtectionPlanRecord:
+        row = self._conn.execute(
+            "SELECT plan_id, workload, workload_kwargs, budget, plan, status, "
+            "created_at FROM protection_plans WHERE plan_id = ?",
+            (plan_id,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no protection plan {plan_id!r} in {self.path!r}")
+        return ProtectionPlanRecord(
+            plan_id=row[0],
+            workload=row[1],
+            workload_kwargs=json.loads(row[2]),
+            budget=row[3],
+            plan=json.loads(row[4]),
+            status=row[5],
+            created_at=row[6],
+        )
+
+    def has_protection_plan(self, plan_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM protection_plans WHERE plan_id = ?", (plan_id,)
+        ).fetchone()
+        return row is not None
+
+    def protection_plans(
+        self, workload: Optional[str] = None
+    ) -> List[ProtectionPlanRecord]:
+        """All plans (optionally of one workload), oldest first."""
+        query = "SELECT plan_id FROM protection_plans"
+        params: List[object] = []
+        if workload is not None:
+            query += " WHERE workload = ?"
+            params.append(workload)
+        query += " ORDER BY created_at, plan_id"
+        return [
+            self.protection_plan(row[0])
+            for row in self._conn.execute(query, params)
+        ]
+
+    def set_plan_status(self, plan_id: str, status: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "UPDATE protection_plans SET status = ? WHERE plan_id = ?",
+                (status, plan_id),
+            )
+
+    def save_validation_run(
+        self,
+        plan_id: str,
+        object_name: str,
+        variant: str,
+        scheme: str,
+        tests: int,
+        successes: int,
+        histogram: Dict[str, int],
+    ) -> None:
+        """Persist one residual-vulnerability measurement (latest wins)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO validation_runs "
+                "(plan_id, object_name, variant, scheme, tests, successes, "
+                "histogram, recorded_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    plan_id,
+                    object_name,
+                    variant,
+                    scheme,
+                    tests,
+                    successes,
+                    _canonical_json(histogram),
+                    time.time(),
+                ),
+            )
+
+    def validation_runs(self, plan_id: str) -> List[ValidationRunRecord]:
+        """Validation rows of a plan, ordered (object, variant)."""
+        return [
+            ValidationRunRecord(
+                plan_id=row[0],
+                object_name=row[1],
+                variant=row[2],
+                scheme=row[3],
+                tests=int(row[4]),
+                successes=int(row[5]),
+                histogram=json.loads(row[6]),
+            )
+            for row in self._conn.execute(
+                "SELECT plan_id, object_name, variant, scheme, tests, "
+                "successes, histogram FROM validation_runs WHERE plan_id = ? "
+                "ORDER BY object_name, variant",
+                (plan_id,),
+            )
+        ]
 
     # ------------------------------------------------------------------ #
     # aggregate views + export

@@ -10,17 +10,23 @@ dynamic instruction traces the aDVF analysis consumes.
 
 Public API
 ----------
-:func:`compile_kernel`, :func:`compile_kernels`, :class:`KernelCompileError`.
+:func:`compile_kernel`, :func:`compile_kernels`,
+:func:`compile_kernel_source`, :class:`KernelCompileError`.
 """
 
 from repro.frontend.errors import KernelCompileError
 from repro.frontend.intrinsics import INTRINSICS, IntrinsicInfo
-from repro.frontend.compiler import compile_kernel, compile_kernels
+from repro.frontend.compiler import (
+    compile_kernel,
+    compile_kernel_source,
+    compile_kernels,
+)
 
 __all__ = [
     "KernelCompileError",
     "INTRINSICS",
     "IntrinsicInfo",
     "compile_kernel",
+    "compile_kernel_source",
     "compile_kernels",
 ]

@@ -765,6 +765,34 @@ def compile_kernel(
     return function
 
 
+def compile_kernel_source(
+    source: str,
+    module: Optional[Module] = None,
+    name: Optional[str] = None,
+) -> Function:
+    """Compile a kernel given as *source text* (created if ``module`` omitted).
+
+    This is the entry point for synthesised kernels — code that is generated
+    rather than written as a Python function in a module (e.g. the
+    duplicate-and-compare wrappers of :mod:`repro.protection.apply`), where
+    ``inspect.getsource`` has nothing to find.  The source must contain
+    exactly one function definition in the restricted kernel dialect; it may
+    call kernels already compiled into ``module``.
+    """
+    tree = ast.parse(textwrap.dedent(source))
+    functions = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+    if len(functions) != 1:
+        raise KernelCompileError(
+            f"kernel source must define exactly one function, found {len(functions)}"
+        )
+    module = module if module is not None else Module(functions[0].name)
+    kernel_name = name or functions[0].name
+    function = _KernelCompiler(module, kernel_name, functions[0], {}).compile()
+    module.add_function(function)
+    function.metadata["module"] = module
+    return function
+
+
 def compile_kernels(
     source_functions: Sequence[Callable], module_name: str = "kernels"
 ) -> Module:

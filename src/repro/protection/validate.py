@@ -1,0 +1,150 @@
+"""Closed-loop validation: did the protection actually help?
+
+The advisor's plan is a *prediction*; this module closes the loop by
+measurement.  For every protected object it runs the same deterministic
+injection campaign twice — once against the unprotected baseline and once
+against the applied variant — drawing fault sites from each program's own
+golden trace (the protected program's site space for an object name is the
+primary replica plus any checksum/verify phases that touch it, i.e. the
+honest residual fault space).  Outcomes land in the campaign store's v3
+``validation_runs`` table, keyed by plan id, so ``python -m repro protect
+report`` renders residual-vulnerability tables from durable rows alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.acceptance import OutcomeClass
+from repro.core.injector import DeterministicFaultInjector
+from repro.core.replay import ReplayContext
+from repro.core.sites import enumerate_fault_sites
+from repro.protection.advisor import ProtectionPlan
+from repro.protection.apply import apply_plan
+from repro.tracing.columnar import ColumnarTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
+    from repro.campaigns.store import CampaignStore
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Baseline-vs-protected masking measurement for one object."""
+
+    object_name: str
+    scheme: str
+    variant: str
+    tests: int
+    successes: int
+    histogram: Dict[str, int]
+
+    @property
+    def masked_fraction(self) -> float:
+        return self.successes / self.tests if self.tests else 0.0
+
+
+@dataclass
+class ValidationReport:
+    """All measurements of one plan's closed-loop validation."""
+
+    plan_id: str
+    outcomes: List[ValidationOutcome]
+
+    def pairs(self) -> Dict[str, Dict[str, ValidationOutcome]]:
+        """object name -> {variant: outcome}."""
+        out: Dict[str, Dict[str, ValidationOutcome]] = {}
+        for outcome in self.outcomes:
+            out.setdefault(outcome.object_name, {})[outcome.variant] = outcome
+        return out
+
+    def improvement(self, object_name: str) -> float:
+        """Protected minus baseline masked fraction (positive = helped)."""
+        pair = self.pairs()[object_name]
+        return pair["protected"].masked_fraction - pair["baseline"].masked_fraction
+
+
+def _campaign(
+    object_name: str,
+    bit_stride: int,
+    max_tests: Optional[int],
+    injector: DeterministicFaultInjector,
+    trace,
+) -> Dict[str, int]:
+    """Strided-exhaustive injection over the object's valid fault sites."""
+    sites = enumerate_fault_sites(trace, object_name, bit_stride=bit_stride)
+    if max_tests is not None and len(sites) > max_tests:
+        stride = len(sites) / max_tests
+        sites = [sites[int(i * stride)] for i in range(max_tests)]
+    histogram: Dict[str, int] = {}
+    for site in sites:
+        result = injector.inject(site.to_spec())
+        histogram[result.outcome.value] = histogram.get(result.outcome.value, 0) + 1
+    return histogram
+
+
+def validate_plan(
+    plan: ProtectionPlan,
+    store: Optional["CampaignStore"] = None,
+    bit_stride: int = 8,
+    max_tests: Optional[int] = 40,
+    protected: Optional["Workload"] = None,
+) -> ValidationReport:
+    """Measure residual vulnerability of every protected object.
+
+    ``protected`` may pass a pre-built variant (saves re-instantiating in
+    tests); otherwise the plan is applied fresh.  When ``store`` is given,
+    each measurement is persisted as a ``validation_runs`` row and the
+    plan's status advances to ``"validated"``.
+    """
+    from repro.workloads.registry import get_workload
+
+    baseline = get_workload(plan.workload, **plan.workload_kwargs)
+    protected = protected if protected is not None else apply_plan(plan)
+    scheme_by_object = {s.object_name: s.scheme for s in plan.selections}
+
+    outcomes: List[ValidationOutcome] = []
+    for variant_name, workload in (("baseline", baseline), ("protected", protected)):
+        # One golden execution per variant: the replay context records the
+        # columnar trace (site enumeration) in the same run that captures
+        # the injector's checkpoint schedule (the AdvfEngine pattern).
+        trace = ColumnarTrace()
+        context = ReplayContext(workload, sink=trace)
+        injector = DeterministicFaultInjector(workload, mode="replay", context=context)
+        trace.columns()  # seal the column views eagerly
+        for object_name in plan.protected_objects():
+            histogram = _campaign(
+                object_name, bit_stride, max_tests, injector, trace
+            )
+            tests = sum(histogram.values())
+            successes = sum(
+                count
+                for outcome, count in histogram.items()
+                if OutcomeClass(outcome).is_success
+            )
+            outcomes.append(
+                ValidationOutcome(
+                    object_name=object_name,
+                    scheme=scheme_by_object[object_name],
+                    variant=variant_name,
+                    tests=tests,
+                    successes=successes,
+                    histogram=histogram,
+                )
+            )
+
+    report = ValidationReport(plan_id=plan.plan_id, outcomes=outcomes)
+    if store is not None:
+        for outcome in outcomes:
+            store.save_validation_run(
+                plan.plan_id,
+                outcome.object_name,
+                outcome.variant,
+                outcome.scheme,
+                outcome.tests,
+                outcome.successes,
+                outcome.histogram,
+            )
+        store.set_plan_status(plan.plan_id, "validated")
+    return report

@@ -8,6 +8,8 @@ Public API
 :func:`~repro.reporting.tables.format_advf_report_table`,
 :func:`~repro.reporting.tables.format_campaign_list`,
 :func:`~repro.reporting.tables.format_shard_table`,
+:func:`~repro.reporting.tables.format_protection_plan_table`,
+:func:`~repro.reporting.tables.format_validation_table`,
 :func:`~repro.reporting.figures.stacked_bar_chart`,
 :func:`~repro.reporting.figures.advf_level_breakdown_rows`,
 :func:`~repro.reporting.figures.advf_category_breakdown_rows`.
@@ -17,8 +19,10 @@ from repro.reporting.tables import (
     format_advf_report_table,
     format_campaign_list,
     format_outcome_table,
+    format_protection_plan_table,
     format_shard_table,
     format_table,
+    format_validation_table,
     table1_rows,
 )
 from repro.reporting.figures import (
@@ -34,7 +38,9 @@ __all__ = [
     "format_outcome_table",
     "format_advf_report_table",
     "format_campaign_list",
+    "format_protection_plan_table",
     "format_shard_table",
+    "format_validation_table",
     "advf_category_breakdown_rows",
     "advf_level_breakdown_rows",
     "bar_chart",

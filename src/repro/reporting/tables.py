@@ -166,6 +166,89 @@ def format_shard_table(
     )
 
 
+def format_protection_plan_table(plan: Dict[str, object]) -> str:
+    """Render a persisted protection plan (``ProtectionPlan.to_dict`` shape).
+
+    One row per selected object plus its predicted overhead share; the
+    trailing summary line states total predicted overhead against the
+    budget and any objects left unprotected.
+    """
+    base_ops = int(plan["base_ops"]) or 1  # type: ignore[arg-type]
+    rows = []
+    for selection in plan["selections"]:  # type: ignore[union-attr]
+        extra = int(selection["predicted_extra_ops"])  # type: ignore[index]
+        rows.append(
+            [
+                selection["object_name"],  # type: ignore[index]
+                selection["scheme"],  # type: ignore[index]
+                f"{float(selection['advf']):.4f}",  # type: ignore[index]
+                f"{float(selection['vulnerability']):.1f}",  # type: ignore[index]
+                f"{float(selection['predicted_reduction']):.1f}",  # type: ignore[index]
+                extra,
+                f"{extra / base_ops:.2f}x",
+            ]
+        )
+    table = format_table(
+        ["object", "scheme", "aDVF", "unmasked mass", "predicted reduction",
+         "extra ops", "overhead"],
+        rows,
+    )
+    summary = (
+        f"predicted total: {int(plan['predicted_extra_ops'])} extra ops "  # type: ignore[arg-type]
+        f"({int(plan['predicted_extra_ops']) / base_ops:.2f}x of "  # type: ignore[arg-type]
+        f"{base_ops} base) under budget {float(plan['budget']):g}x"  # type: ignore[arg-type]
+    )
+    unprotected = list(plan.get("unprotected", []))  # type: ignore[arg-type]
+    if unprotected:
+        summary += f"; unprotected: {', '.join(str(n) for n in unprotected)}"
+    return table + "\n" + summary
+
+
+def format_validation_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Residual-vulnerability table from persisted ``validation_runs`` rows.
+
+    Each input row is a flat dict with ``object``, ``scheme``, ``variant``,
+    ``tests``, ``successes`` keys (store record shape).  Baseline and
+    protected measurements of one object are folded into a single output
+    row with the masked-fraction delta the closed loop is judged by.
+    """
+    by_object: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for row in rows:
+        by_object.setdefault(str(row["object"]), {})[str(row["variant"])] = row
+
+    def fraction(row: Optional[Dict[str, object]]) -> Optional[float]:
+        if row is None or not int(row["tests"]):  # type: ignore[arg-type]
+            return None
+        return int(row["successes"]) / int(row["tests"])  # type: ignore[arg-type]
+
+    rendered = []
+    for object_name in sorted(by_object):
+        pair = by_object[object_name]
+        baseline, protected = pair.get("baseline"), pair.get("protected")
+        base_f, prot_f = fraction(baseline), fraction(protected)
+        source = protected or baseline or {}
+        rendered.append(
+            [
+                object_name,
+                source.get("scheme", ""),
+                baseline["tests"] if baseline else "-",
+                f"{base_f:.3f}" if base_f is not None else "-",
+                protected["tests"] if protected else "-",
+                f"{prot_f:.3f}" if prot_f is not None else "-",
+                (
+                    f"{prot_f - base_f:+.3f}"
+                    if base_f is not None and prot_f is not None
+                    else "-"
+                ),
+            ]
+        )
+    return format_table(
+        ["object", "scheme", "base tests", "base masked", "prot tests",
+         "prot masked", "delta"],
+        rendered,
+    )
+
+
 def format_campaign_list(
     rows: Sequence[Dict[str, object]], limit: Optional[int] = None
 ) -> str:

@@ -1,0 +1,118 @@
+"""Direct unit tests for the Huang–Abraham checksum arithmetic.
+
+`repro.abft.checksums` was previously exercised only indirectly through the
+ABFT workload variants; these tests pin its contract: encode/verify/
+locate/correct round-trips for single errors, and the documented limits on
+double errors (detected but not locatable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft import (
+    correct_single_error,
+    encode_column_checksums,
+    encode_row_checksums,
+    locate_single_error,
+    verify_product,
+)
+
+
+@pytest.fixture()
+def product():
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((5, 5))
+    b = rng.standard_normal((5, 5))
+    c = a @ b
+    return a, b, c
+
+
+class TestEncodeVerify:
+    def test_clean_product_verifies(self, product):
+        a, b, c = product
+        rows = encode_row_checksums(a, b)
+        cols = encode_column_checksums(a, b)
+        assert rows.shape == (5,) and cols.shape == (5,)
+        assert verify_product(c, rows, cols)
+
+    def test_checksums_match_direct_sums(self, product):
+        a, b, c = product
+        np.testing.assert_allclose(encode_row_checksums(a, b), c.sum(axis=1))
+        np.testing.assert_allclose(encode_column_checksums(a, b), c.sum(axis=0))
+
+    def test_single_corruption_fails_verification(self, product):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[2, 3] += 1.5
+        assert not verify_product(bad, rows, cols)
+
+    def test_sub_tolerance_corruption_passes(self, product):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[1, 1] += 1e-9
+        assert verify_product(bad, rows, cols, tol=1e-6)
+        assert not verify_product(bad, rows, cols, tol=1e-12)
+
+
+class TestLocateCorrect:
+    @pytest.mark.parametrize("row,col,delta", [(0, 0, 2.0), (4, 1, -0.75), (2, 4, 1e-3)])
+    def test_single_error_round_trip(self, product, row, col, delta):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[row, col] += delta
+
+        located = locate_single_error(bad, rows, cols)
+        assert located is not None
+        lrow, lcol, ldelta = located
+        assert (lrow, lcol) == (row, col)
+        assert ldelta == pytest.approx(delta)
+
+        corrected, applied = correct_single_error(bad, rows, cols)
+        assert applied
+        np.testing.assert_allclose(corrected, c, atol=1e-9)
+        # copy-on-write: the corrupted input is untouched
+        assert bad[row, col] == pytest.approx(c[row, col] + delta)
+
+    def test_clean_matrix_locates_nothing(self, product):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        assert locate_single_error(c, rows, cols) is None
+        corrected, applied = correct_single_error(c, rows, cols)
+        assert not applied
+        assert corrected is c  # no copy when nothing to fix
+
+    def test_two_errors_detected_but_not_locatable(self, product):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[0, 1] += 1.0
+        bad[3, 2] += 1.0
+        # two bad rows x two bad columns: detection succeeds, location fails
+        assert not verify_product(bad, rows, cols)
+        assert locate_single_error(bad, rows, cols) is None
+        _, applied = correct_single_error(bad, rows, cols)
+        assert not applied
+
+    def test_two_errors_in_one_row_not_locatable(self, product):
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[2, 0] += 1.0
+        bad[2, 4] -= 0.5
+        # one bad row but two bad columns -> ambiguous, refuse to correct
+        assert not verify_product(bad, rows, cols)
+        assert locate_single_error(bad, rows, cols) is None
+
+    def test_cancelling_errors_in_one_row_escape_row_checksum(self, product):
+        """The documented blind spot: +d and -d in one row cancel in the row
+        sum, leaving two bad columns only — detected, never located."""
+        a, b, c = product
+        rows, cols = encode_row_checksums(a, b), encode_column_checksums(a, b)
+        bad = c.copy()
+        bad[1, 0] += 2.0
+        bad[1, 3] -= 2.0
+        assert not verify_product(bad, rows, cols)
+        assert locate_single_error(bad, rows, cols) is None

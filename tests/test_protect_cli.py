@@ -1,0 +1,180 @@
+"""CLI smoke tests: `python -m repro protect plan|apply|validate|report`.
+
+Also covers the campaign store's v2 → v3 migration: opening a pre-existing
+v2 store must upgrade it in place (adding the empty protection tables)
+while keeping every campaign row readable.
+"""
+
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaigns.cli import main
+from repro.campaigns.store import SCHEMA_VERSION, CampaignStore, StoreVersionError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+PLAN_ARGS = [
+    "protect", "plan", "matmul", "--set", "n=4", "--budget", "2.0",
+    "--max-injections", "20", "--bit-stride", "8",
+]
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+class TestProtectInProcess:
+    def test_plan_apply_validate_report_loop(self, store_path, capsys):
+        assert main([*PLAN_ARGS, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "object(s) protected" in out and "under budget 2x" in out
+        plan_id = out.split()[1]
+        assert plan_id.startswith("p")
+
+        # planning again lands on the same content-addressed plan
+        assert main([*PLAN_ARGS, "--store", store_path]) == 0
+        assert plan_id in capsys.readouterr().out
+
+        assert main(["protect", "apply", plan_id, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "measured overhead" in out
+        assert "bit-identical to the baseline" in out
+
+        assert main(
+            ["protect", "validate", plan_id, "--tests", "25",
+             "--bit-stride", "8", "--store", store_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "validation complete" in out
+        assert "prot masked" in out
+
+        # report renders plan + residual tables from the store alone
+        assert main(["protect", "report", plan_id, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "status   : validated" in out
+        assert "predicted total" in out
+        assert "delta" in out
+
+        # a workload name resolves to its latest plan
+        assert main(["protect", "report", "matmul", "--store", store_path]) == 0
+        assert plan_id in capsys.readouterr().out
+
+        # the bare listing shows the plan row
+        assert main(["protect", "report", "--store", store_path]) == 0
+        listing = capsys.readouterr().out
+        assert plan_id in listing and "validated" in listing
+
+    def test_plan_from_campaign_reports(self, store_path, capsys):
+        """--campaign reuses stored aDVF rows and adopts the campaign kwargs."""
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:8", "--set", "n=4",
+             "--store", store_path, "--workers", "1"]
+        ) == 0
+        campaign_id = capsys.readouterr().out.split()[1].rstrip(":")
+        assert main(
+            ["campaign", "report", campaign_id, "--max-injections", "10",
+             "--bit-stride", "16", "--store", store_path, "--workers", "1"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(
+            ["protect", "plan", "matmul", "--campaign", campaign_id,
+             "--budget", "2.0", "--store", store_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "object(s) protected" in out
+
+        # workload/kwargs mismatches are rejected instead of silently mixed
+        with pytest.raises(SystemExit, match="measured workload"):
+            main(["protect", "plan", "cg", "--campaign", campaign_id,
+                  "--store", store_path])
+        with pytest.raises(SystemExit, match="drop --set"):
+            main(["protect", "plan", "matmul", "--campaign", campaign_id,
+                  "--set", "n=6", "--store", store_path])
+        with pytest.raises(SystemExit, match="no campaign"):
+            main(["protect", "plan", "matmul", "--campaign", "cmissing",
+                  "--store", store_path])
+
+    def test_error_paths(self, store_path, capsys):
+        with pytest.raises(SystemExit, match="neither a protection plan"):
+            main(["protect", "apply", "nonsense", "--store", store_path])
+        # typos in --objects / --schemes fail fast, before any analysis
+        with pytest.raises(SystemExit, match="unknown data object"):
+            main(["protect", "plan", "matmul", "--set", "n=4",
+                  "--objects", "colix", "--store", store_path])
+        with pytest.raises(SystemExit, match="unknown protection scheme"):
+            main(["protect", "plan", "matmul", "--set", "n=4",
+                  "--schemes", "bogus", "--store", store_path])
+        with pytest.raises(SystemExit, match="no protection plans"):
+            main(["protect", "validate", "matmul", "--store", store_path])
+        with pytest.raises(SystemExit):
+            main(["protect", "plan", "not-a-workload", "--store", store_path])
+        main(["protect", "report", "--store", store_path])
+        assert "no protection plans" in capsys.readouterr().out
+
+
+class TestProtectSubprocess:
+    def test_module_entry_point(self, store_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *PLAN_ARGS, "--store", store_path],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "object(s) protected" in proc.stdout
+
+
+class TestStoreMigrationV2ToV3:
+    def _make_v2_store(self, path, campaign_id="cdeadbeef00000000"):
+        """Fabricate a v2-era store file with one campaign + one shard."""
+        with CampaignStore(path) as store:
+            store.ensure_campaign("matmul", {"n": 4}, {"kind": "exhaustive"}, 8)
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+            )
+            conn.execute("DROP TABLE protection_plans")
+            conn.execute("DROP TABLE validation_runs")
+        conn.close()
+
+    def test_migration_preserves_campaigns_and_adds_tables(self, tmp_path):
+        path = str(tmp_path / "old.sqlite")
+        self._make_v2_store(path)
+
+        with CampaignStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION == 3
+            # old campaign rows survive untouched
+            (record,) = store.campaigns()
+            assert record.workload == "matmul"
+            # the new tables exist and start empty
+            assert store.protection_plans() == []
+            store.save_protection_plan("p123", "matmul", {"n": 4}, 2.0, {"x": 1})
+            assert store.protection_plan("p123").plan == {"x": 1}
+
+    def test_protect_plan_on_migrated_store(self, tmp_path, capsys):
+        path = str(tmp_path / "old.sqlite")
+        self._make_v2_store(path)
+        assert main([*PLAN_ARGS, "--store", path]) == 0
+        assert "object(s) protected" in capsys.readouterr().out
+        with CampaignStore(path) as store:
+            assert store.schema_version == 3
+            assert len(store.protection_plans()) == 1
+
+    def test_future_versions_still_rejected(self, tmp_path):
+        path = str(tmp_path / "future.sqlite")
+        with CampaignStore(path):
+            pass
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+        conn.close()
+        with pytest.raises(StoreVersionError):
+            CampaignStore(path)
