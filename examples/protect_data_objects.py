@@ -100,7 +100,7 @@ def main() -> None:
 
     print()
     print("closing the loop: injection campaigns on baseline vs protected ...")
-    report = validate_plan(plan, bit_stride=16, max_tests=30, protected=protected)
+    report = validate_plan(plan, bit_stride=16, max_tests=30)
     print()
     print(
         format_validation_table(

@@ -36,6 +36,7 @@ from repro.campaigns.plans import (
     FixedRandomPlan,
     SamplingPlan,
     StratifiedPlan,
+    ValidationPlan,
     parse_plan,
     plan_from_dict,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "FixedRandomPlan",
     "SamplingPlan",
     "StratifiedPlan",
+    "ValidationPlan",
     "parse_plan",
     "plan_from_dict",
     "fixed_sample_size_for_half_width",

@@ -292,6 +292,9 @@ def _cmd_status(args) -> int:
                             "specs": shard.spec_count,
                             "inject_s": shard.duration_s,
                             "analysis_s": shard.analysis_s,
+                            "rbatches": shard.batches,
+                            "memo_hits": shard.memo_hits,
+                            "memo_misses": shard.memo_misses,
                         }
                         for shard in status.shards
                     ],

@@ -404,7 +404,7 @@ class CampaignOrchestrator:
         self, task: ShardTask, run_id: int
     ) -> List[FaultInjectionResult]:
         start = time.perf_counter()
-        results = self._execute_specs(list(task.specs))
+        results, batch_stats = self._execute_specs(list(task.specs))
         duration = time.perf_counter() - start
         self.store.record_shard(
             self.campaign_id,
@@ -415,20 +415,26 @@ class CampaignOrchestrator:
             duration,
             results,
             analysis_s=self._pass_seconds.get(task.object_name, 0.0),
+            batch_stats=batch_stats,
         )
         rate = len(results) / duration if duration > 0 else float("inf")
         self._say(
             f"[{self.campaign_id}] shard {task.index} ({task.object_name}, "
             f"batch {task.batch}): {len(results)} injections in {duration:.2f}s "
-            f"({rate:.0f}/s)"
+            f"({rate:.0f}/s, {batch_stats.get('batches', 0)} replay batches, "
+            f"{batch_stats.get('memo_hits', 0)} memo hits)"
         )
         return results
 
-    def _execute_specs(self, specs: List[FaultSpec]) -> List[FaultInjectionResult]:
+    def _execute_specs(
+        self, specs: List[FaultSpec]
+    ) -> Tuple[List[FaultInjectionResult], Dict[str, int]]:
+        """Run one shard's specs; returns results + replay-batch counters."""
         if self.workers <= 1:
             if self._injector is None:
                 self._injector = DeterministicFaultInjector(self._workload())
-            return [self._injector.inject(spec) for spec in specs]
+            results = self._injector.inject_many(specs)
+            return results, self._injector.consume_batch_stats()
         if self._runner is None:
             # One persistent pool for the whole run: worker processes (and
             # their per-workload injectors) are reused across shards instead
@@ -439,7 +445,8 @@ class CampaignOrchestrator:
                 workers=self.workers,
                 keep_pool=True,
             )
-        return self._runner.run_injections(specs)
+        results = self._runner.run_injections(specs)
+        return results, dict(self._runner.last_batch_stats)
 
     def _close_runner(self) -> None:
         if self._runner is not None:

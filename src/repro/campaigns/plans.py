@@ -191,6 +191,37 @@ class StratifiedPlan(StaticPlan):
 
 
 @dataclass(frozen=True)
+class ValidationPlan(StaticPlan):
+    """Strided-exhaustive subsample used by closed-loop validation.
+
+    Enumerates every valid site at ``bit_stride`` and, when the pool
+    exceeds ``tests``, takes an even stride through it — the exact site
+    selection the protection validator has always used, lifted into a
+    first-class plan so baseline-vs-protected campaigns run through the
+    durable orchestrator (content-addressed, sharded, resumable) like any
+    other campaign.
+    """
+
+    tests: Optional[int] = 40
+
+    kind = "validation"
+
+    def specs_for(self, trace: TraceLike, object_name: str) -> List[FaultSpec]:
+        sites = self.site_pool(trace, object_name)
+        if self.tests is not None and len(sites) > self.tests:
+            stride = len(sites) / self.tests
+            sites = [sites[int(i * stride)] for i in range(self.tests)]
+        return [site.to_spec() for site in sites]
+
+    def describe(self) -> str:
+        bound = "all" if self.tests is None else f"<= {self.tests}"
+        return (
+            f"validation, strided-exhaustive {bound} tests/object "
+            f"(bit_stride={self.bit_stride})"
+        )
+
+
+@dataclass(frozen=True)
 class AdaptivePlan(SamplingPlan):
     """Draw RFI batches until the masking-rate CI is tight enough.
 
@@ -253,6 +284,7 @@ PLAN_KINDS: Dict[str, type] = {
     ExhaustivePlan.kind: ExhaustivePlan,
     FixedRandomPlan.kind: FixedRandomPlan,
     StratifiedPlan.kind: StratifiedPlan,
+    ValidationPlan.kind: ValidationPlan,
     AdaptivePlan.kind: AdaptivePlan,
 }
 

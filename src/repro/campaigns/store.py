@@ -20,14 +20,20 @@ Design points:
   verify a resume re-executed only the unfinished shards.
 * **Schema versioning.**  The schema version is stamped into the file on
   creation and checked on open; older stores are migrated in place (v2
-  only adds defaulted columns, v3 only adds the protection tables), any
-  other mismatch raises :class:`StoreVersionError` instead of silently
-  misreading rows.
+  only adds defaulted columns, v3 only adds the protection tables, v4
+  adds defaulted replay-batch columns), any other mismatch raises
+  :class:`StoreVersionError` instead of silently misreading rows.
 * **Protection rows (v3).**  The selective-protection subsystem
   (:mod:`repro.protection`) persists its advisor plans
   (``protection_plans``) and the closed-loop validation campaigns run
   against the protected variants (``validation_runs``), so
   ``python -m repro protect report`` renders entirely from the store.
+* **Replay-batch telemetry (v4).**  Shards carry the batched replay
+  scheduler's counters (``batches``, ``memo_hits``, ``memo_misses``) so
+  ``campaign status`` can show per-shard amortization and memo hit rates;
+  ``validation_runs`` carry the ``campaign_id`` of the orchestrated
+  campaign that measured them, linking closed-loop validations to their
+  shard timings.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ from repro.core.advf import ObjectReport
 from repro.core.injector import FaultInjectionResult
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -79,6 +85,9 @@ CREATE TABLE IF NOT EXISTS shards (
     spec_count  INTEGER NOT NULL,
     duration_s  REAL NOT NULL,
     analysis_s  REAL NOT NULL DEFAULT 0,
+    batches     INTEGER NOT NULL DEFAULT 0,
+    memo_hits   INTEGER NOT NULL DEFAULT 0,
+    memo_misses INTEGER NOT NULL DEFAULT 0,
     recorded_at REAL NOT NULL,
     PRIMARY KEY (campaign_id, shard_index)
 );
@@ -122,6 +131,7 @@ CREATE TABLE IF NOT EXISTS validation_runs (
     tests       INTEGER NOT NULL,
     successes   INTEGER NOT NULL,
     histogram   TEXT NOT NULL DEFAULT '{}',
+    campaign_id TEXT NOT NULL DEFAULT '',
     recorded_at REAL NOT NULL,
     PRIMARY KEY (plan_id, object_name, variant)
 );
@@ -189,6 +199,22 @@ class ShardRecord:
     #: Seconds spent in the analysis passes (participation discovery + site
     #: enumeration) attributable to the shard's data object.
     analysis_s: float = 0.0
+    #: Replay-batch scheduler telemetry (v4): lockstep walks (= snapshot
+    #: restores) executed for the shard, and convergence-memo hits/misses
+    #: among its divergent replays.  ``spec_count / batches`` is the
+    #: faults-per-restore amortization.
+    batches: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @property
+    def faults_per_restore(self) -> float:
+        return self.spec_count / self.batches if self.batches else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        probes = self.memo_hits + self.memo_misses
+        return self.memo_hits / probes if probes else 0.0
 
 
 @dataclass(frozen=True)
@@ -239,6 +265,9 @@ class ValidationRunRecord:
     tests: int
     successes: int
     histogram: Dict[str, int]
+    #: Id of the orchestrated campaign that measured this row (v4) — empty
+    #: for rows written before validation ran through the orchestrator.
+    campaign_id: str = ""
 
     @property
     def masked_fraction(self) -> float:
@@ -292,6 +321,8 @@ class CampaignStore:
                 version = self._migrate_v1_to_v2()
             if version == 2:
                 version = self._migrate_v2_to_v3()
+            if version == 3:
+                version = self._migrate_v3_to_v4()
             if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
@@ -330,6 +361,33 @@ class CampaignStore:
             "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
         )
         return 3
+
+    def _migrate_v3_to_v4(self) -> int:
+        """v3 → v4: defaulted replay-batch columns only — pre-batching
+        shards read back with zeroed scheduler counters and stay fully
+        usable."""
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(shards)")
+        }
+        for column in ("batches", "memo_hits", "memo_misses"):
+            if column not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE shards ADD COLUMN {column} "
+                    f"INTEGER NOT NULL DEFAULT 0"
+                )
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(validation_runs)")
+        }
+        if "campaign_id" not in columns:
+            self._conn.execute(
+                "ALTER TABLE validation_runs ADD COLUMN "
+                "campaign_id TEXT NOT NULL DEFAULT ''"
+            )
+        self._conn.execute(
+            "UPDATE meta SET value = '4' WHERE key = 'schema_version'"
+        )
+        return 4
 
     @property
     def schema_version(self) -> int:
@@ -480,8 +538,15 @@ class CampaignStore:
         duration_s: float,
         results: Sequence[FaultInjectionResult],
         analysis_s: float = 0.0,
+        batch_stats: Optional[Dict[str, int]] = None,
     ) -> None:
-        """Persist one completed shard and all its outcomes atomically."""
+        """Persist one completed shard and all its outcomes atomically.
+
+        ``batch_stats`` (if given) carries the replay-batch scheduler's
+        counters for this shard — ``batches``, ``memo_hits`` and
+        ``memo_misses`` are stamped onto the shard row.
+        """
+        stats = batch_stats or {}
         with self._conn:
             self._conn.executemany(
                 "INSERT INTO outcomes (campaign_id, shard_index, seq, object_name, "
@@ -506,8 +571,9 @@ class CampaignStore:
             )
             self._conn.execute(
                 "INSERT INTO shards (campaign_id, shard_index, object_name, batch, "
-                "run_id, spec_count, duration_s, analysis_s, recorded_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "run_id, spec_count, duration_s, analysis_s, batches, memo_hits, "
+                "memo_misses, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     campaign_id,
                     shard_index,
@@ -517,6 +583,9 @@ class CampaignStore:
                     len(results),
                     duration_s,
                     analysis_s,
+                    int(stats.get("batches", 0)),
+                    int(stats.get("memo_hits", 0)),
+                    int(stats.get("memo_misses", 0)),
                     time.time(),
                 ),
             )
@@ -526,8 +595,8 @@ class CampaignStore:
         out: Dict[int, ShardRecord] = {}
         for row in self._conn.execute(
             "SELECT shard_index, object_name, batch, run_id, spec_count, "
-            "duration_s, analysis_s FROM shards WHERE campaign_id = ? "
-            "ORDER BY shard_index",
+            "duration_s, analysis_s, batches, memo_hits, memo_misses "
+            "FROM shards WHERE campaign_id = ? ORDER BY shard_index",
             (campaign_id,),
         ):
             record = ShardRecord(
@@ -538,6 +607,9 @@ class CampaignStore:
                 spec_count=int(row[4]),
                 duration_s=row[5],
                 analysis_s=row[6],
+                batches=int(row[7]),
+                memo_hits=int(row[8]),
+                memo_misses=int(row[9]),
             )
             out[record.shard_index] = record
         return out
@@ -716,13 +788,20 @@ class CampaignStore:
         tests: int,
         successes: int,
         histogram: Dict[str, int],
+        campaign_id: str = "",
     ) -> None:
-        """Persist one residual-vulnerability measurement (latest wins)."""
+        """Persist one residual-vulnerability measurement (latest wins).
+
+        ``campaign_id`` links the row to the orchestrated campaign whose
+        shards measured it, so shard timings and replay-batch telemetry
+        stay reachable from the validation view.
+        """
         with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO validation_runs "
                 "(plan_id, object_name, variant, scheme, tests, successes, "
-                "histogram, recorded_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "histogram, campaign_id, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     plan_id,
                     object_name,
@@ -731,6 +810,7 @@ class CampaignStore:
                     tests,
                     successes,
                     _canonical_json(histogram),
+                    campaign_id,
                     time.time(),
                 ),
             )
@@ -746,11 +826,12 @@ class CampaignStore:
                 tests=int(row[4]),
                 successes=int(row[5]),
                 histogram=json.loads(row[6]),
+                campaign_id=row[7],
             )
             for row in self._conn.execute(
                 "SELECT plan_id, object_name, variant, scheme, tests, "
-                "successes, histogram FROM validation_runs WHERE plan_id = ? "
-                "ORDER BY object_name, variant",
+                "successes, histogram, campaign_id FROM validation_runs "
+                "WHERE plan_id = ? ORDER BY object_name, variant",
                 (plan_id,),
             )
         ]
@@ -809,6 +890,9 @@ class CampaignStore:
                     "spec_count": shard.spec_count,
                     "duration_s": shard.duration_s,
                     "analysis_s": shard.analysis_s,
+                    "batches": shard.batches,
+                    "memo_hits": shard.memo_hits,
+                    "memo_misses": shard.memo_misses,
                 }
             )
         for outcome in self.outcomes(campaign_id):

@@ -38,7 +38,14 @@ from repro.core.masking import (
     OperationMaskingAnalyzer,
 )
 from repro.core.propagation import PropagationAnalyzer, PropagationResult
-from repro.core.replay import ReplayContext
+from repro.core.replay import (
+    BatchedReplayContext,
+    BatchReplayResult,
+    ReplayBatch,
+    ReplayBatchStats,
+    ReplayContext,
+    ReplayMemo,
+)
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.core.exhaustive import ExhaustiveCampaign, ExhaustiveResult
 from repro.core.rfi import RandomFaultInjection, RFIResult, required_sample_size
@@ -71,6 +78,11 @@ __all__ = [
     "PropagationAnalyzer",
     "PropagationResult",
     "ReplayContext",
+    "BatchedReplayContext",
+    "BatchReplayResult",
+    "ReplayBatch",
+    "ReplayBatchStats",
+    "ReplayMemo",
     "DeterministicFaultInjector",
     "FaultInjectionResult",
     "ExhaustiveCampaign",

@@ -106,8 +106,9 @@ class ExhaustiveCampaign:
             stride = total / self.max_injections
             sites = [sites[int(i * stride)] for i in range(self.max_injections)]
         outcomes: Dict[OutcomeClass, int] = {}
-        for site in sites:
-            result = self.injector.inject(site.to_spec())
+        # one batched submission: the replay scheduler groups the sites by
+        # snapshot interval and shares the suffix walk across them
+        for result in self.injector.inject_many([s.to_spec() for s in sites]):
             outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
         return ExhaustiveResult(
             object_name=object_name,

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.acceptance import OutcomeClass, ScalarResultCheck, classify_outcome
-from repro.core.replay import ReplayContext
+from repro.core.replay import BatchedReplayContext, ReplayContext
 from repro.vm.errors import StepLimitExceeded, VMError
 from repro.vm.faults import FaultSpec
 
@@ -102,13 +102,20 @@ class DeterministicFaultInjector:
         #: execution that captures the checkpoints).
         self._context: Optional[ReplayContext] = context
         self.runs = 0
+        self._stats_seen: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     @property
     def context(self) -> ReplayContext:
-        """The shared golden run + snapshot schedule (built on first use)."""
+        """The shared golden run + snapshot schedule (built on first use).
+
+        Lazily-built contexts are :class:`BatchedReplayContext`, so
+        :meth:`inject_many` can route through the batch scheduler;
+        caller-supplied plain :class:`ReplayContext` instances stay on the
+        per-fault sequential path.
+        """
         if self._context is None:
-            self._context = ReplayContext(
+            self._context = BatchedReplayContext(
                 self.workload,
                 checkpoint_interval=self.checkpoint_interval,
                 target_checkpoints=self.target_checkpoints,
@@ -134,12 +141,9 @@ class DeterministicFaultInjector:
 
     def inject(self, spec: FaultSpec) -> FaultInjectionResult:
         """Execute one faulty run and classify the outcome."""
-        golden = self.golden
         self.runs += 1
-        crashed = hung = False
-        detail = ""
-        outputs: Dict[str, np.ndarray] = {}
-        return_value = None
+        outcome = None
+        error: Optional[BaseException] = None
         try:
             if self.mode == "replay":
                 outcome = self.context.replay(spec)
@@ -147,14 +151,80 @@ class DeterministicFaultInjector:
                 outcome = self.workload.fresh_instance().run(
                     fault=spec, executor="interpreter"
                 )
+        except (StepLimitExceeded, VMError) as exc:
+            error = exc
+        return self._classify(spec, outcome, error)
+
+    def inject_many(self, specs: Sequence[FaultSpec]) -> List[FaultInjectionResult]:
+        """Inject every spec, batched through the replay scheduler.
+
+        In ``replay`` mode with a batch-capable context the specs are
+        submitted as one batch: grouped by snapshot interval, driven
+        through a shared lockstep suffix walk, and answered by the
+        convergence memo where possible — outcome-identical to a
+        sequential :meth:`inject` loop (the parity suite asserts it) but
+        amortizing snapshot restores and suffix execution across the
+        batch.  Other modes fall back to the sequential loop.  See
+        :mod:`repro.parallel` for the multiprocessing campaign runner.
+        """
+        specs = list(specs)
+        if self.mode != "replay" or len(specs) < 2:
+            return [self.inject(spec) for spec in specs]
+        context = self.context
+        if not isinstance(context, BatchedReplayContext):
+            return [self.inject(spec) for spec in specs]
+        self.runs += len(specs)
+        replayed = context.replay_many(specs)
+        return [
+            self._classify(result.spec, result.outcome, result.error)
+            for result in replayed
+        ]
+
+    def consume_batch_stats(self) -> Dict[str, int]:
+        """Batch-scheduler counter deltas since the previous call.
+
+        Returns an empty dict when the injector has no batch-capable
+        context (rerun mode, or a caller-supplied plain context).  Used by
+        campaign workers to stamp per-shard scheduler telemetry (batches,
+        memo hit rate) into the store.
+        """
+        context = self._context
+        if not isinstance(context, BatchedReplayContext):
+            return {}
+        current = context.stats.to_dict()
+        delta = {
+            key: value - self._stats_seen.get(key, 0)
+            for key, value in current.items()
+        }
+        self._stats_seen = current
+        return delta
+
+    def _classify(
+        self,
+        spec: FaultSpec,
+        outcome: Optional["RunOutcome"],
+        error: Optional[BaseException],
+    ) -> FaultInjectionResult:
+        """Classify one faulty run (shared by the per-fault and batch paths)."""
+        golden = self.golden
+        crashed = hung = False
+        detail = ""
+        outputs: Dict[str, np.ndarray] = {}
+        return_value = None
+        if error is not None:
+            if isinstance(error, StepLimitExceeded):
+                hung = True
+                detail = str(error)
+            elif isinstance(error, VMError):
+                crashed = True
+                detail = str(error)
+            else:
+                # a non-VM failure is a harness bug, not an injection
+                # outcome — surface it exactly like the sequential path
+                raise error
+        else:
             outputs = outcome.outputs
             return_value = outcome.return_value
-        except StepLimitExceeded as exc:
-            hung = True
-            detail = str(exc)
-        except VMError as exc:
-            crashed = True
-            detail = str(exc)
 
         classification = classify_outcome(
             self.workload.acceptance,
@@ -167,11 +237,6 @@ class DeterministicFaultInjector:
             return_check=ScalarResultCheck() if self.check_return_value else None,
         )
         return FaultInjectionResult(spec=spec, outcome=classification, detail=detail)
-
-    def inject_many(self, specs: Sequence[FaultSpec]) -> List[FaultInjectionResult]:
-        """Inject every spec (sequentially); see :mod:`repro.parallel` for the
-        multiprocessing campaign runner."""
-        return [self.inject(spec) for spec in specs]
 
     # ------------------------------------------------------------------ #
     def outcome_histogram(

@@ -27,11 +27,12 @@ workloads and fault targets.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.vm.engine import Engine, Snapshot
+from repro.vm.engine import Engine, Snapshot, snapshot_digest
 from repro.vm.faults import FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
@@ -170,3 +171,331 @@ class ReplayContext:
             steps=result.steps,
             trace=None,
         )
+
+
+# --------------------------------------------------------------------- #
+# batched replay scheduler
+# --------------------------------------------------------------------- #
+@dataclass
+class ReplayBatchStats:
+    """Counters of the batched replay scheduler (telemetry, per context).
+
+    ``batches`` counts lockstep walks (each restores exactly one snapshot,
+    so ``faults / batches`` is the amortization the scheduler achieves);
+    ``groups`` counts the snapshot-interval groups those walks spanned.
+    ``memo_hits`` / ``memo_misses`` account the convergence memo: a *hit*
+    answers a divergent replay from a previously recorded state, a *miss*
+    is a divergent replay that had to run to completion.
+    """
+
+    batches: int = 0
+    groups: int = 0
+    faults: int = 0
+    lockstep: int = 0
+    evicted: int = 0
+    converged: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "groups": self.groups,
+            "faults": self.faults,
+            "lockstep": self.lockstep,
+            "evicted": self.evicted,
+            "converged": self.converged,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+
+@dataclass(frozen=True)
+class ReplayBatch:
+    """One snapshot-interval group of a batched submission.
+
+    ``snapshot_dyn`` is the dynamic id of the snapshot serving the group;
+    ``specs`` are the group's faults in ascending site order.  The
+    scheduler restores each group's snapshot at most once (in practice a
+    whole submission shares a single restore — the lockstep walk runs
+    through consecutive groups without re-restoring).
+    """
+
+    snapshot_index: int
+    snapshot_dyn: int
+    specs: Tuple[FaultSpec, ...]
+
+
+class _MemoEntry:
+    """Recorded outcome tail of one divergent replay (see :class:`ReplayMemo`)."""
+
+    __slots__ = ("kind", "outputs", "return_value", "steps", "converged_at",
+                 "error")
+
+    def __init__(self, kind, outputs=None, return_value=None, steps=0,
+                 converged_at=None, error=None) -> None:
+        self.kind = kind  # "golden" | "outcome" | "error"
+        self.outputs = outputs
+        self.return_value = return_value
+        self.steps = steps
+        self.converged_at = converged_at
+        self.error = error
+
+
+class ReplayMemo:
+    """Convergence memoization table: ``(checkpoint op, state digest) → tail``.
+
+    A faulty execution is a pure function of its complete dynamic state, so
+    once a replay passing through checkpoint ``c`` with state digest ``d``
+    has been run to its outcome, every later replay reaching ``(c, d)`` must
+    end the same way and can skip the remaining suffix entirely.  Golden
+    convergence is the special case where ``d`` equals the golden digest
+    (handled separately by the engine's digest checks); this table covers
+    repeated *divergent* states.
+    """
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        self.max_entries = max_entries
+        self._table: Dict[Tuple[int, bytes], _MemoEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, position: int, digest: bytes) -> Optional[_MemoEntry]:
+        return self._table.get((position, digest))
+
+    def record(self, visited: Sequence[Tuple[int, bytes]], entry: _MemoEntry) -> None:
+        table = self._table
+        for key in visited:
+            if len(table) >= self.max_entries:
+                return
+            table[key] = entry
+
+
+@dataclass
+class BatchReplayResult:
+    """Outcome of one fault of a batched submission.
+
+    Exactly one of ``outcome`` / ``error`` is set; ``error`` carries the
+    same exception type and message a sequential replay would raise.
+    ``converged_at`` is the dynamic id at which the execution was proven
+    bit-identical to golden (``None`` when it never was); ``via`` names the
+    resolution path (``lockstep`` / ``completed`` / ``private`` / ``memo``
+    / ``error``) for telemetry and tests.
+    """
+
+    spec: FaultSpec
+    outcome: Optional["RunOutcome"] = None
+    error: Optional[BaseException] = None
+    converged_at: Optional[int] = None
+    via: str = "lockstep"
+
+
+class BatchedReplayContext(ReplayContext):
+    """A :class:`ReplayContext` with an interval-grouped batch scheduler.
+
+    :meth:`replay_many` turns per-fault replay into batch execution: the
+    pending specs are grouped by snapshot interval, each batch restores its
+    snapshot once and drives all of its faults through a single shared
+    suffix walk with per-fault divergence state
+    (:meth:`repro.vm.engine.Engine.resume_many`), divergent replays fork
+    copy-on-write memory images for their window, and convergence
+    memoization answers repeated divergent states without re-execution.
+
+    The inherited single-fault :meth:`replay` is untouched — it remains the
+    sequential parity oracle the batched path is asserted against.
+    """
+
+    def __init__(self, *args, memo_entries: int = 16384, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Scheduler telemetry (cumulative over all ``replay_many`` calls).
+        self.stats = ReplayBatchStats()
+        self._memo = ReplayMemo(memo_entries) if self.detect_convergence else None
+        self._golden_digest_cache: Optional[Dict[int, bytes]] = None
+
+    # ------------------------------------------------------------------ #
+    def plan_batches(
+        self, specs: Sequence[FaultSpec], presorted: bool = False
+    ) -> List[ReplayBatch]:
+        """Group ``specs`` by the snapshot interval their site falls in.
+
+        This is the scheduler's one grouping implementation:
+        :meth:`replay_many` calls it (with ``presorted=True`` on its
+        already-ordered list) for the per-batch telemetry, and tests use it
+        to introspect the snapshot each fault replays from.
+        """
+        ordered = (
+            list(specs)
+            if presorted
+            else sorted(specs, key=lambda spec: spec.dynamic_id)
+        )
+        batches: List[ReplayBatch] = []
+        current: List[FaultSpec] = []
+        current_index = -1
+        for spec in ordered:
+            index = bisect_right(self._snapshot_positions, spec.dynamic_id) - 1
+            if index < 0:
+                raise ValueError(
+                    f"no snapshot at or before dynamic id {spec.dynamic_id}"
+                )
+            if index != current_index:
+                if current:
+                    batches.append(ReplayBatch(
+                        snapshot_index=current_index,
+                        snapshot_dyn=self.snapshots[current_index].dyn,
+                        specs=tuple(current),
+                    ))
+                current = []
+                current_index = index
+            current.append(spec)
+        if current:
+            batches.append(ReplayBatch(
+                snapshot_index=current_index,
+                snapshot_dyn=self.snapshots[current_index].dyn,
+                specs=tuple(current),
+            ))
+        return batches
+
+    def _golden_digests(self) -> Dict[int, bytes]:
+        if self._golden_digest_cache is None:
+            self._golden_digest_cache = {
+                snap.dyn: snapshot_digest(snap) for snap in self.snapshots
+            }
+        return self._golden_digest_cache
+
+    # ------------------------------------------------------------------ #
+    def replay_many(self, specs: Sequence[FaultSpec]) -> List[BatchReplayResult]:
+        """Execute every spec via the batch scheduler, in input order.
+
+        Faults whose execution raises are returned with ``error`` set
+        instead of raising, so one crashing fault does not abort the batch
+        (callers classify crashes/hangs exactly as with sequential
+        :meth:`replay`).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        order = sorted(range(len(specs)), key=lambda i: (specs[i].dynamic_id, i))
+        ordered = [specs[i] for i in order]
+        stats = self.stats
+        stats.batches += 1
+        stats.groups += len(self.plan_batches(ordered, presorted=True))
+        stats.faults += len(specs)
+        self.replays += len(specs)
+        engine = Engine(
+            self.instance.module,
+            self.instance.memory,
+            max_steps=self.workload.max_steps,
+        )
+        digests = self._golden_digests() if self.detect_convergence else None
+        resolutions = engine.resume_many(
+            self.snapshots, ordered, golden_digests=digests, memo=self._memo
+        )
+        results: List[Optional[BatchReplayResult]] = [None] * len(specs)
+        for position, resolution in zip(order, resolutions):
+            results[position] = self._finish(resolution)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def _finish(self, resolution) -> BatchReplayResult:
+        """Translate an engine resolution into a :class:`BatchReplayResult`,
+        updating counters and the convergence memo."""
+        from repro.workloads.base import RunOutcome
+
+        stats = self.stats
+        spec = resolution.spec
+        kind = resolution.kind
+        memo = self._memo
+        if resolution.private:
+            stats.evicted += 1
+            if memo is not None and kind != "memo":
+                stats.memo_misses += 1
+        else:
+            stats.lockstep += 1
+
+        if kind == "golden":
+            stats.converged += 1
+            self.converged_replays += 1
+            if memo is not None and resolution.visited:
+                memo.record(resolution.visited, _MemoEntry(
+                    "golden", converged_at=resolution.converged_at,
+                ))
+            return BatchReplayResult(
+                spec=spec,
+                outcome=self.golden_outcome(),
+                converged_at=resolution.converged_at,
+                via="lockstep" if not resolution.private else "private",
+            )
+        if kind == "completed":
+            outputs = {
+                name: array.copy()
+                for name, array in self.golden_outputs.items()
+            }
+            for name, index, value in resolution.cell_deltas:
+                array = outputs.get(name)
+                if array is not None:
+                    array[index] = value
+            return BatchReplayResult(
+                spec=spec,
+                outcome=RunOutcome(
+                    outputs=outputs,
+                    return_value=resolution.return_value,
+                    steps=resolution.steps,
+                    trace=None,
+                ),
+                via="completed",
+            )
+        if kind == "private":
+            outputs = {
+                name: resolution.memory.object(name).values()
+                for name in self.workload.output_objects
+            }
+            if memo is not None and resolution.visited:
+                memo.record(resolution.visited, _MemoEntry(
+                    "outcome",
+                    outputs={k: v.copy() for k, v in outputs.items()},
+                    return_value=resolution.return_value,
+                    steps=resolution.steps,
+                ))
+            return BatchReplayResult(
+                spec=spec,
+                outcome=RunOutcome(
+                    outputs=outputs,
+                    return_value=resolution.return_value,
+                    steps=resolution.steps,
+                    trace=None,
+                ),
+                via="private",
+            )
+        if kind == "memo":
+            entry = resolution.memo_entry
+            stats.memo_hits += 1
+            if memo is not None and resolution.visited:
+                memo.record(resolution.visited, entry)
+            if entry.kind == "golden":
+                stats.converged += 1
+                self.converged_replays += 1
+                return BatchReplayResult(
+                    spec=spec,
+                    outcome=self.golden_outcome(),
+                    converged_at=entry.converged_at,
+                    via="memo",
+                )
+            if entry.kind == "error":
+                return BatchReplayResult(spec=spec, error=entry.error, via="memo")
+            return BatchReplayResult(
+                spec=spec,
+                outcome=RunOutcome(
+                    outputs={k: v.copy() for k, v in entry.outputs.items()},
+                    return_value=entry.return_value,
+                    steps=entry.steps,
+                    trace=None,
+                ),
+                via="memo",
+            )
+        # kind == "error"
+        if memo is not None and resolution.visited:
+            memo.record(resolution.visited, _MemoEntry(
+                "error", error=resolution.error,
+            ))
+        return BatchReplayResult(spec=spec, error=resolution.error, via="error")

@@ -125,11 +125,11 @@ class RandomFaultInjection:
             raise ValueError(f"{object_name} has no valid fault sites in this trace")
         rng = np.random.default_rng(self.seed if seed is None else seed)
         chosen_indices = rng.integers(0, len(sites), size=tests)
+        chosen: List[FaultSite] = [sites[int(index)] for index in chosen_indices]
         outcomes: Dict[OutcomeClass, int] = {}
         successes = 0
-        for index in chosen_indices:
-            site: FaultSite = sites[int(index)]
-            result = self.injector.inject(site.to_spec())
+        # all sampled tests go through the batch scheduler in one submission
+        for result in self.injector.inject_many([s.to_spec() for s in chosen]):
             outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
             if result.outcome.is_success:
                 successes += 1

@@ -116,16 +116,18 @@ def _inject_chunk(
     workload_name: str,
     workload_kwargs: Dict[str, object],
     specs: List[FaultSpec],
-) -> List[Tuple[FaultSpec, str, str]]:
+) -> Tuple[List[Tuple[FaultSpec, str, str]], Dict[str, int]]:
     # One injector per (worker process, workload): the golden run and the
-    # checkpoint schedule are computed once and every spec replays against
-    # the shared snapshots.
+    # checkpoint schedule are computed once, and the whole chunk is
+    # submitted to the batched replay scheduler in one go (grouped by
+    # snapshot interval, shared suffix walk, convergence memo).  The second
+    # element is the scheduler's counter delta for this chunk.
     injector = _worker_injector(workload_name, workload_kwargs)
-    results = []
-    for spec in specs:
-        outcome = injector.inject(spec)
-        results.append((spec, outcome.outcome.value, outcome.detail))
-    return results
+    results = [
+        (result.spec, result.outcome.value, result.detail)
+        for result in injector.inject_many(specs)
+    ]
+    return results, injector.consume_batch_stats()
 
 
 #: Per-worker-process columnar-trace cache, keyed by artifact path.  A
@@ -191,6 +193,11 @@ class CampaignRunner:
     _trace_tmpdir: Optional[str] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Batch-scheduler counters aggregated over the chunks of the most
+    #: recent :meth:`run_injections` call (batches, memo hits/misses, …).
+    last_batch_stats: Dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # golden-trace artifact
@@ -238,15 +245,19 @@ class CampaignRunner:
         spec range, with the original exception chained as ``__cause__``.
         """
         specs = list(specs)
+        self.last_batch_stats = {}
         if not specs:
             return []
         if self.workers <= 1 or len(specs) < 4:
             try:
-                raw = _inject_chunk(self.workload_name, self.workload_kwargs, specs)
+                raw, stats = _inject_chunk(
+                    self.workload_name, self.workload_kwargs, specs
+                )
             except Exception as exc:
                 raise CampaignChunkError(self.workload_name, 0, specs, exc) from exc
             if on_progress is not None:
                 on_progress(1, 1)
+            self._merge_stats(stats)
             return _wrap(raw)
         chunks = [c for c in chunk_evenly(specs, self.workers) if c]
         per_chunk = self._collect(
@@ -256,9 +267,14 @@ class CampaignRunner:
             on_progress,
         )
         results: List[FaultInjectionResult] = []
-        for raw in per_chunk:
+        for raw, stats in per_chunk:
             results.extend(_wrap(raw))
+            self._merge_stats(stats)
         return results
+
+    def _merge_stats(self, stats: Dict[str, int]) -> None:
+        for key, value in stats.items():
+            self.last_batch_stats[key] = self.last_batch_stats.get(key, 0) + value
 
     def _collect(
         self,

@@ -81,6 +81,16 @@ def register(sub: argparse._SubParsersAction, common) -> None:
                            help="max injections per object and variant")
             p.add_argument("--bit-stride", type=int, default=8,
                            help="bit stride of the site enumeration")
+            p.add_argument("--workers", type=int, default=None,
+                           help="worker processes for the validation "
+                                "campaigns (default: $REPRO_WORKERS or "
+                                "cores-1)")
+            p.add_argument("--max-shards", type=int, default=None,
+                           help="execute at most N shards per variant this "
+                                "run (smoke/interrupt; resume by re-running)")
+            p.add_argument("--shard-size", type=int, default=None,
+                           help="specs per validation shard (checkpoint "
+                                "granularity; default as campaign run)")
         common(p)
 
     report = psub.add_parser("report", help="plan + residual tables from the store")
@@ -234,9 +244,26 @@ def cmd_validate(args, open_store, say) -> int:
         plan = _resolve_plan(store, args.target)
         say(f"validating plan {plan.plan_id} "
             f"({len(plan.protected_objects())} object(s)) ...")
-        validate_plan(
-            plan, store=store, bit_stride=args.bit_stride, max_tests=args.tests
+        extra = (
+            {"shard_size": args.shard_size}
+            if args.shard_size is not None
+            else {}
         )
+        report = validate_plan(
+            plan,
+            store=store,
+            bit_stride=args.bit_stride,
+            max_tests=args.tests,
+            workers=args.workers,
+            progress=say,
+            max_shards=args.max_shards,
+            **extra,
+        )
+        if not report.complete:
+            print(f"plan {plan.plan_id}: validation interrupted "
+                  f"(--max-shards); re-run `repro protect validate` to "
+                  f"resume from the persisted shards")
+            return 0
         print(f"plan {plan.plan_id}: validation complete")
         print()
         print(_validation_table(store, plan.plan_id))

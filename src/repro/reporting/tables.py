@@ -142,11 +142,21 @@ def format_shard_table(
     analysis passes — participation discovery and fault-site enumeration
     over the cached columnar trace — spent on the shard's data object;
     ``inject_s`` is the shard's injection wall-clock.
+
+    Optional replay-batch keys (``rbatches``, ``memo_hits``,
+    ``memo_misses`` — schema v4) add the batched-replay scheduler view:
+    lockstep walks (= snapshot restores) per shard, the resulting
+    faults-per-restore amortization, and the convergence-memo hit rate
+    among divergent replays.  Shards recorded before batching (or by
+    workers without it) render ``-`` in those columns.
     """
     rendered = []
     for row in (rows if limit is None else rows[-limit:]):
         specs = int(row["specs"])  # type: ignore[arg-type]
         inject_s = float(row["inject_s"])  # type: ignore[arg-type]
+        batches = int(row.get("rbatches", 0))  # type: ignore[arg-type]
+        memo_hits = int(row.get("memo_hits", 0))  # type: ignore[arg-type]
+        memo_probes = memo_hits + int(row.get("memo_misses", 0))  # type: ignore[arg-type]
         rendered.append(
             [
                 row["shard"],
@@ -157,11 +167,14 @@ def format_shard_table(
                 f"{inject_s:.2f}",
                 f"{float(row['analysis_s']):.3f}",  # type: ignore[arg-type]
                 f"{specs / inject_s:.0f}" if inject_s > 0 else "-",
+                batches if batches else "-",
+                f"{specs / batches:.1f}" if batches else "-",
+                f"{memo_hits / memo_probes:.2f}" if memo_probes else "-",
             ]
         )
     return format_table(
         ["shard", "object", "batch", "run", "specs", "inject s", "analysis s",
-         "specs/s"],
+         "specs/s", "rbatch", "faults/restore", "memo hit"],
         rendered,
     )
 

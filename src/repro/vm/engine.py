@@ -37,7 +37,9 @@ same :class:`~repro.tracing.events.TraceEvent` stream.
 
 from __future__ import annotations
 
+import hashlib
 import struct
+from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.frontend.intrinsics import INTRINSICS
@@ -367,10 +369,16 @@ def _decode_instruction(
 
 
 class _Frame:
-    """Per-call dynamic state of the decoded engine."""
+    """Per-call dynamic state of the decoded engine.
+
+    ``div`` is only used by the lockstep batch walk
+    (:meth:`Engine.resume_many`): a lazily created
+    ``{slot: {fault_index: value}}`` map of register slots whose value
+    differs from the golden execution for some in-flight faults.
+    """
 
     __slots__ = ("df", "pc", "prev_block", "regs", "prods", "stack_objects",
-                 "ret_slot", "ret_dyn")
+                 "ret_slot", "ret_dyn", "div")
 
     def __init__(self, df: DecodedFunction) -> None:
         self.df = df
@@ -381,6 +389,7 @@ class _Frame:
         self.stack_objects = []
         self.ret_slot = -1
         self.ret_dyn = -1
+        self.div = None
 
 
 class _FrameImage:
@@ -410,6 +419,156 @@ def _values_bit_equal(a: object, b: object) -> bool:
     if ta is float:
         return struct.pack("<d", a) == struct.pack("<d", b)
     return a == b
+
+
+# --------------------------------------------------------------------- #
+# state digests (convergence memoization)
+# --------------------------------------------------------------------- #
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _hash_values(h, values) -> None:
+    """Feed a canonical, bit-exact encoding of register values into ``h``.
+
+    Two value sequences produce the same bytes iff they are bit-identical
+    under :func:`_values_bit_equal` (type tags keep ``1`` / ``1.0`` /
+    ``True`` distinct; floats hash their IEEE-754 bytes so ``-0.0`` and NaN
+    payloads are respected).
+    """
+    update = h.update
+    for v in values:
+        t = type(v)
+        if t is float:
+            update(b"f")
+            update(struct.pack("<d", v))
+        elif t is int:
+            if _I64_MIN <= v <= _I64_MAX:
+                update(b"i")
+                update(struct.pack("<q", v))
+            else:
+                raw = repr(v).encode()
+                update(b"I%d:" % len(raw))
+                update(raw)
+        elif t is bool:
+            update(b"T" if v else b"F")
+        elif v is _UNDEF:
+            update(b"u")
+        else:  # pragma: no cover - no other value types reach registers
+            raw = repr(v).encode()
+            update(b"O%d:" % len(raw))
+            update(raw)
+
+
+def _hash_frame(h, func_name, pc, prev_block, ret_slot, ret_dyn,
+                stack_names, regs) -> None:
+    raw = func_name.encode()
+    h.update(b"\x01%d:" % len(raw))
+    h.update(raw)
+    h.update(struct.pack("<qqqq", pc, prev_block, ret_slot, ret_dyn))
+    h.update(struct.pack("<q", len(stack_names)))
+    for name in stack_names:
+        raw = name.encode()
+        h.update(b"%d:" % len(raw))
+        h.update(raw)
+    h.update(struct.pack("<q", len(regs)))
+    _hash_values(h, regs)
+
+
+def _hash_memory_object(h, name, element_type, count, base, is_stack, raw) -> None:
+    encoded = name.encode()
+    h.update(b"\x02%d:" % len(encoded))
+    h.update(encoded)
+    encoded = element_type.name.encode()
+    h.update(b"%d:" % len(encoded))
+    h.update(encoded)
+    h.update(struct.pack("<qq?q", count, base, bool(is_stack), len(raw)))
+    h.update(raw)
+
+
+def snapshot_digest(snapshot: "Snapshot") -> bytes:
+    """Content digest of a snapshot's complete dynamic state.
+
+    Computed from exactly the state :meth:`Snapshot.matches_live` compares
+    (producer links and the load-writer index are excluded), with the same
+    canonical encoding :meth:`Engine.state_digest` uses for live state —
+    so ``snapshot_digest(s) == engine.state_digest()`` iff the live state
+    at ``s.dyn`` is bit-identical to the snapshot.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    frames = snapshot.frames
+    h.update(struct.pack("<q", len(frames)))
+    for image in frames:
+        _hash_frame(h, image.func_name, image.pc, image.prev_block,
+                    image.ret_slot, image.ret_dyn, image.stack_names,
+                    image.regs)
+    memory = snapshot.memory
+    objects = sorted(memory.objects, key=lambda entry: entry[3])
+    h.update(struct.pack("<qqq", memory.next_address, memory.stack_counter,
+                         len(objects)))
+    for name, element_type, count, base, is_stack, raw in objects:
+        _hash_memory_object(h, name, element_type, count, base, is_stack, raw)
+    return h.digest()
+
+
+class EngineFork:
+    """A cheap, immutable fork of a live engine state.
+
+    Captures the call stack as :class:`_FrameImage` copies (O(registers))
+    and the address space as a copy-on-write :meth:`~repro.vm.memory.Memory.fork`
+    (O(objects), bytes shared until written).  Forks are the divergence-window
+    isolation primitive of the batched replay scheduler: the shared lockstep
+    walk forks at eviction points and hands each divergent fault its own
+    private, mutation-isolated state without copying memory up front.
+    """
+
+    __slots__ = ("dyn", "frames", "memory")
+
+    def __init__(self, dyn: int, frames: List[_FrameImage], memory: Memory) -> None:
+        self.dyn = dyn
+        self.frames = frames
+        self.memory = memory
+
+
+class BatchFaultResolution:
+    """How :meth:`Engine.resume_many` resolved one fault of a batch.
+
+    ``kind`` is one of:
+
+    ``"golden"``
+        Proven bit-identical to the golden execution (``converged_at`` is
+        the dynamic id of the proof point).
+    ``"completed"``
+        Survived the lockstep walk to program end with value-only
+        divergence; ``cell_deltas`` lists ``(object, index, value)``
+        memory cells that differ from golden, ``return_value``/``steps``
+        are the faulty run's.
+    ``"private"``
+        Diverged in control flow or addressing and ran standalone from a
+        copy-on-write fork; ``memory`` holds its final address space.
+    ``"memo"``
+        Answered by a convergence-memo entry (``memo_entry``).
+    ``"error"``
+        The faulty execution raised (``error``), either in lockstep value
+        evaluation or in its private run.
+    """
+
+    __slots__ = ("spec", "kind", "return_value", "steps", "cell_deltas",
+                 "memory", "error", "converged_at", "visited", "memo_entry",
+                 "private")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.kind = ""
+        self.return_value = None
+        self.steps = 0
+        self.cell_deltas: List[Tuple[str, int, object]] = []
+        self.memory: Optional[Memory] = None
+        self.error: Optional[BaseException] = None
+        self.converged_at: Optional[int] = None
+        self.visited: List[Tuple[int, bytes]] = []
+        self.memo_entry = None
+        self.private = False
 
 
 class Snapshot:
@@ -512,12 +671,28 @@ class Engine:
         self.snapshot_budget = snapshot_budget
         self.snapshots: List[Snapshot] = []
         self.converged = False
+        #: Dynamic id at which convergence onto golden was proven (or None).
+        self.converged_at: Optional[int] = None
+        #: Memo entry that answered this run early (digest-check path).
+        self.memo_entry = None
+        #: True when :meth:`run_to` stopped at its target instead of at a
+        #: program exit.
+        self.paused = False
         self._dyn = 0
         self._frames: List[_Frame] = []
         self._last_writer: Dict[int, int] = {}
         self._next_capture = 0 if snapshot_interval else _NEVER
         self._golden_schedule: Optional[Sequence[Snapshot]] = None
         self._check_cursor = 0
+        self._stop_at = _NEVER
+        #: Digest-check state (batched replay): sorted positions, golden
+        #: digests keyed by position, an optional convergence memo, and the
+        #: (position, digest) pairs visited without a hit.
+        self._digest_positions: Optional[List[int]] = None
+        self._digest_cursor = 0
+        self._golden_digests: Dict[int, bytes] = {}
+        self._memo = None
+        self.visited: List[Tuple[int, bytes]] = []
 
     # ------------------------------------------------------------------ #
     # public entry points
@@ -543,6 +718,56 @@ class Engine:
         self._frames.append(frame)
         return self._loop()
 
+    def _restore_frames(self, images: Sequence[_FrameImage]) -> None:
+        self._frames = []
+        for image in images:
+            df = self.program.functions[image.func_name]
+            frame = _Frame(df)
+            frame.pc = image.pc
+            frame.prev_block = image.prev_block
+            frame.regs = list(image.regs)
+            frame.prods = list(image.prods)
+            frame.stack_objects = [self.memory.object(n) for n in image.stack_names]
+            frame.ret_slot = image.ret_slot
+            frame.ret_dyn = image.ret_dyn
+            self._frames.append(frame)
+
+    def _reset_run_flags(self) -> None:
+        self.converged = False
+        self.converged_at = None
+        self.memo_entry = None
+        self.paused = False
+        self._stop_at = _NEVER
+        self._golden_schedule = None
+        self._check_cursor = 0
+        self._digest_positions = None
+        self._digest_cursor = 0
+        self._golden_digests = {}
+        self._memo = None
+        self.visited = []
+
+    def prepare_resume(self, snapshot: Snapshot) -> None:
+        """Restore ``snapshot`` as the live state without running.
+
+        Together with :meth:`run_to` and :meth:`capture_fork` this forms a
+        reusable *resume cursor*: restore once, walk the golden suffix
+        pausing at chosen dynamic ids, and fork the paused state cheaply —
+        the amortized-snapshot primitive of the batched replay scheduler.
+        """
+        self.memory.restore_image(snapshot.memory)
+        self._restore_frames(snapshot.frames)
+        self._dyn = snapshot.dyn
+        self._last_writer = dict(snapshot.last_writer or {})
+        self._reset_run_flags()
+        # re-align snapshot capture to the first interval multiple strictly
+        # after the restore point (the restore point itself is the snapshot
+        # the caller already holds)
+        if self.snapshot_interval:
+            interval = self.snapshot_interval
+            self._next_capture = (snapshot.dyn // interval + 1) * interval
+        else:
+            self._next_capture = _NEVER
+
     def resume(
         self,
         snapshot: Snapshot,
@@ -557,32 +782,7 @@ class Engine:
         :attr:`converged` set — the remainder of the execution provably
         equals the golden run.
         """
-        self.memory.restore_image(snapshot.memory)
-        self._frames = []
-        for image in snapshot.frames:
-            df = self.program.functions[image.func_name]
-            frame = _Frame(df)
-            frame.pc = image.pc
-            frame.prev_block = image.prev_block
-            frame.regs = list(image.regs)
-            frame.prods = list(image.prods)
-            frame.stack_objects = [self.memory.object(n) for n in image.stack_names]
-            frame.ret_slot = image.ret_slot
-            frame.ret_dyn = image.ret_dyn
-            self._frames.append(frame)
-        self._dyn = snapshot.dyn
-        self._last_writer = dict(snapshot.last_writer or {})
-        self.converged = False
-        # re-align snapshot capture to the first interval multiple strictly
-        # after the restore point (the restore point itself is the snapshot
-        # the caller already holds)
-        if self.snapshot_interval:
-            interval = self.snapshot_interval
-            self._next_capture = (snapshot.dyn // interval + 1) * interval
-        else:
-            self._next_capture = _NEVER
-        self._golden_schedule = None
-        self._check_cursor = 0
+        self.prepare_resume(snapshot)
         if golden_schedule and self.fault is not None:
             # first golden position strictly after the fault site (the fault
             # must have fired before a comparison can prove convergence)
@@ -599,16 +799,789 @@ class Engine:
         return self._loop()
 
     # ------------------------------------------------------------------ #
+    # resume cursor + forks (batched replay building blocks)
+    # ------------------------------------------------------------------ #
+    def run_to(self, target: int) -> None:
+        """Advance the live state to dynamic id ``target`` and pause there.
+
+        ``target`` must be at or ahead of the current position; pausing at
+        the current position is a no-op.  Raises :class:`VMError` when the
+        program returns before reaching ``target``.
+        """
+        if target < self._dyn:
+            raise ValueError(
+                f"cannot run backwards: at {self._dyn}, target {target}"
+            )
+        if target == self._dyn:
+            return
+        self._stop_at = target
+        self.paused = False
+        try:
+            self._loop()
+        finally:
+            self._stop_at = _NEVER
+        if not self.paused:
+            raise VMError(
+                f"execution finished at dynamic id {self._dyn} before "
+                f"reaching {target}"
+            )
+
+    def capture_fork(self) -> EngineFork:
+        """A copy-on-write fork of the live state (frames + memory)."""
+        return EngineFork(
+            self._dyn,
+            [_FrameImage(frame) for frame in self._frames],
+            self.memory.fork(),
+        )
+
+    def adopt_fork(self, fork: EngineFork) -> None:
+        """Make a fresh copy-on-write clone of ``fork`` the live state.
+
+        Each adoption re-forks the fork's memory, so the fork itself stays
+        pristine and can seed any number of divergent replays.
+        """
+        self.memory = fork.memory.fork()
+        self._restore_frames(fork.frames)
+        self._dyn = fork.dyn
+        self._last_writer = {}
+        self._reset_run_flags()
+        self._next_capture = _NEVER
+
+    def run_checked(
+        self,
+        positions: Sequence[int],
+        golden_digests: Dict[int, bytes],
+        memo=None,
+    ) -> ExecutionResult:
+        """Run to completion with digest checks at ``positions``.
+
+        At each position the live :meth:`state_digest` is compared against
+        the golden digest (bit-identical match ⇒ :attr:`converged`) and, on
+        a mismatch, looked up in ``memo`` (an object with
+        ``lookup(position, digest)``); a memo hit stops the run with
+        :attr:`memo_entry` set.  Misses are accumulated in :attr:`visited`
+        so the caller can memoize this run's outcome under every state it
+        passed through.
+        """
+        self._digest_positions = list(positions)
+        self._digest_cursor = 0
+        self._golden_digests = golden_digests
+        self._memo = memo
+        self.visited = []
+        return self._loop()
+
+    def state_digest(self) -> bytes:
+        """Content digest of the live dynamic state (see :func:`snapshot_digest`)."""
+        h = hashlib.blake2b(digest_size=16)
+        frames = self._frames
+        h.update(struct.pack("<q", len(frames)))
+        for frame in frames:
+            _hash_frame(
+                h, frame.df.name, frame.pc, frame.prev_block, frame.ret_slot,
+                frame.ret_dyn, [obj.name for obj in frame.stack_objects],
+                frame.regs,
+            )
+        memory = self.memory
+        h.update(struct.pack(
+            "<qqq", memory._next_address, memory._stack_counter,
+            len(memory._by_base),
+        ))
+        for obj in memory._by_base:
+            _hash_memory_object(
+                h, obj.name, obj.element_type, obj.count, obj.base,
+                obj.is_stack, obj.array.tobytes(),
+            )
+        return h.digest()
+
+    # ------------------------------------------------------------------ #
+    # batched replay: lockstep walk with per-fault divergence state
+    # ------------------------------------------------------------------ #
+    def _private_replay(
+        self,
+        resolution: BatchFaultResolution,
+        fork: EngineFork,
+        fault: Optional[FaultSpec],
+        reg_patches,
+        cell_patches,
+        sched_positions: List[int],
+        golden_digests: Optional[Dict[int, bytes]],
+        memo,
+    ) -> BatchFaultResolution:
+        """Run one fault privately from a copy-on-write fork.
+
+        Used by :meth:`resume_many` for faults the lockstep walk cannot
+        carry: either the fault is armed on the fork (``fault`` set, birth
+        eviction) or its accumulated divergence is patched onto the fork's
+        clone (``reg_patches``/``cell_patches``, mid-walk eviction after a
+        control-flow or addressing divergence).
+        """
+        engine = Engine(
+            self.module,
+            fork.memory,
+            fault=fault,
+            max_steps=self.max_steps,
+            max_call_depth=self.max_call_depth,
+            program=self.program,
+        )
+        engine.adopt_fork(fork)
+        for frame_index, slot, value in reg_patches:
+            engine._frames[frame_index].regs[slot] = value
+        for name, index, value in cell_patches:
+            engine.memory.object(name).set(index, value)
+        if golden_digests is not None:
+            start = bisect_right(sched_positions, fork.dyn)
+            positions = sched_positions[start:]
+        else:
+            positions = ()
+        resolution.private = True
+        try:
+            result = engine.run_checked(positions, golden_digests or {}, memo)
+        except Exception as exc:
+            resolution.kind = "error"
+            resolution.error = exc
+        else:
+            if engine.converged:
+                resolution.kind = "golden"
+                resolution.converged_at = engine.converged_at
+            elif engine.memo_entry is not None:
+                resolution.kind = "memo"
+                resolution.memo_entry = engine.memo_entry
+            else:
+                resolution.kind = "private"
+                resolution.memory = engine.memory
+                resolution.return_value = result.return_value
+                resolution.steps = result.steps
+        resolution.visited = engine.visited
+        return resolution
+
+    def resume_many(  # noqa: C901 - one deliberately flat dispatch loop
+        self,
+        schedule: Sequence[Snapshot],
+        specs: Sequence[FaultSpec],
+        golden_digests: Optional[Dict[int, bytes]] = None,
+        memo=None,
+    ) -> List[BatchFaultResolution]:
+        """Resolve a batch of faults through one shared golden suffix walk.
+
+        ``specs`` must be sorted by ``dynamic_id``.  The engine restores the
+        snapshot nearest the earliest fault **once**, then re-executes the
+        golden suffix a single time; faults arm as the walk reaches their
+        site and ride along as sparse *divergence state* (register slots and
+        memory cells whose value differs from golden, per fault):
+
+        * value divergence is evaluated per fault on the side, reusing the
+          walk's decoded ops and operand resolution;
+        * a fault whose divergence set drains to empty is provably
+          bit-identical to golden and resolves immediately;
+        * a fault that diverges in control flow or addressing is *evicted*
+          into a private replay seeded from a copy-on-write fork of the
+          walk's state patched with the fault's divergence — private runs
+          use digest checks against ``golden_digests`` (convergence) and
+          ``memo`` (outcome memoization at matching intermediate states);
+        * faults still diverged when the program returns resolve to the
+          golden outcome patched with their cell deltas.
+
+        Outcomes are bit-identical to per-fault sequential replay (asserted
+        across all registered workloads by ``tests/test_replay_batch.py``).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        for earlier, later in zip(specs, specs[1:]):
+            if later.dynamic_id < earlier.dynamic_id:
+                raise ValueError("resume_many specs must be sorted by dynamic_id")
+        sched_positions = [snap.dyn for snap in schedule]
+        start_index = bisect_right(sched_positions, specs[0].dynamic_id) - 1
+        if start_index < 0:
+            raise ValueError(
+                f"no snapshot at or before dynamic id {specs[0].dynamic_id}"
+            )
+        self.fault = None  # the walk itself is fault-free
+        self.prepare_resume(schedule[start_index])
+
+        resolutions = [BatchFaultResolution(spec) for spec in specs]
+        nspecs = len(specs)
+        next_spec = 0
+        next_arm = specs[0].dynamic_id
+        #: fault index -> armed spec, for faults riding the lockstep walk
+        active: Dict[int, FaultSpec] = {}
+        #: fault index -> diverged registers + cells (resolves golden at 0)
+        div_count: Dict[int, int] = {}
+        #: object name -> element index -> fault index -> diverged value
+        cells: Dict[str, Dict[int, Dict[int, object]]] = {}
+
+        frames = self._frames
+        memory = self.memory
+        resolve = memory.resolve
+        check_access = Memory._check_access_type
+        max_steps = self.max_steps
+        max_depth = self.max_call_depth
+        functions = self.program.functions
+
+        frame = frames[-1]
+        ops = frame.df.ops
+        regs = frame.regs
+        pc = frame.pc
+        dyn = self._dyn
+
+        # ---- helpers over the divergence bookkeeping ------------------- #
+        op = None
+        values: List[Number] = []
+
+        def fault_operands(fid, armed):
+            """The fault's view of the current op's operand values."""
+            vals = list(values)
+            fdiv_local = frame.div
+            if fdiv_local:
+                for position, slot in enumerate(op.src):
+                    if slot >= 0:
+                        m = fdiv_local.get(slot)
+                        if m is not None and fid in m:
+                            vals[position] = m[fid]
+            if armed is not None:
+                index = armed.operand_index
+                vals[index] = flip_bit(vals[index], armed.bit, op.op_types[index])
+            return vals
+
+        def collect_patches(fid):
+            reg_patches = []
+            for frame_index, fr in enumerate(frames):
+                fdiv_local = fr.div
+                if fdiv_local:
+                    for slot, m in fdiv_local.items():
+                        if fid in m:
+                            reg_patches.append((frame_index, slot, m[fid]))
+            cell_patches = []
+            for name, cmap in cells.items():
+                for index, m in cmap.items():
+                    if fid in m:
+                        cell_patches.append((name, index, m[fid]))
+            return reg_patches, cell_patches
+
+        def drop_fault(fid):
+            for fr in frames:
+                fdiv_local = fr.div
+                if fdiv_local:
+                    for slot in [s for s, m in fdiv_local.items() if fid in m]:
+                        m = fdiv_local[slot]
+                        del m[fid]
+                        if not m:
+                            del fdiv_local[slot]
+            for name in list(cells):
+                cmap = cells[name]
+                for index in [i for i, m in cmap.items() if fid in m]:
+                    m = cmap[index]
+                    del m[fid]
+                    if not m:
+                        del cmap[index]
+                if not cmap:
+                    del cells[name]
+            div_count.pop(fid, None)
+            active.pop(fid, None)
+
+        def resolve_golden(fid, at):
+            resolution = resolutions[fid]
+            resolution.kind = "golden"
+            resolution.converged_at = at
+            active.pop(fid, None)
+            div_count.pop(fid, None)
+
+        def resolve_error(fid, exc):
+            resolution = resolutions[fid]
+            resolution.kind = "error"
+            resolution.error = exc
+            drop_fault(fid)
+
+        #: Faults whose last diverged register/cell died this op (the op's
+        #: tail resolves them golden and clears the list).
+        drained: List[int] = []
+
+        def dec_divergence(fid):
+            c = div_count.get(fid)
+            if c is not None:
+                div_count[fid] = c - 1
+                if c == 1:
+                    drained.append(fid)
+
+        # ---- the walk -------------------------------------------------- #
+        try:
+            while True:
+                if dyn >= max_steps:
+                    raise StepLimitExceeded(max_steps)
+                op = ops[pc]
+                kind = op.kind
+                op_dyn = dyn
+
+                # ------- operand resolution (golden values) ------- #
+                values = []
+                for s, c in zip(op.src, op.consts):
+                    if s >= 0:
+                        v = regs[s]
+                        if v is _UNDEF:
+                            raise VMError(
+                                f"use of value {op.src_names[len(values)]} "
+                                f"before definition"
+                            )
+                        values.append(v)
+                    else:
+                        values.append(c)
+
+                fdiv = frame.div
+                workers = None          # fid -> armed spec (or None)
+                birth_store_old = None  # STORE_DEST_OLD faults firing here
+                born = None             # fids armed into lockstep this op
+                fork = None
+
+                # ------- faults arming at this op ------- #
+                if dyn == next_arm:
+                    while (
+                        next_spec < nspecs
+                        and specs[next_spec].dynamic_id == dyn
+                    ):
+                        fid = next_spec
+                        spec = specs[fid]
+                        next_spec += 1
+                        target = spec.target
+                        if target is FaultTarget.STORE_DEST_OLD and kind == K_STORE:
+                            if birth_store_old is None:
+                                birth_store_old = []
+                            birth_store_old.append(fid)
+                        elif (
+                            target is FaultTarget.OPERAND
+                            and 0 <= spec.operand_index < len(values)
+                            and (
+                                kind == K_FN
+                                or kind == K_CALL_INTRINSIC
+                                or kind == K_GEP
+                                or kind == K_PHI
+                                or kind == K_RET
+                                or kind == K_CALL_USER
+                                or (kind == K_STORE and spec.operand_index == 0)
+                            )
+                        ):
+                            # a pure value-level flip: ride the lockstep walk
+                            active[fid] = spec
+                            if workers is None:
+                                workers = {}
+                            workers[fid] = spec
+                            if born is None:
+                                born = []
+                            born.append(fid)
+                        else:
+                            # exotic site (result target, address operand,
+                            # branch condition, out-of-range operand index):
+                            # reproduce exactly via a private replay with the
+                            # fault armed on a fork of the pre-op state
+                            if fork is None:
+                                frame.pc = pc
+                                self._dyn = dyn
+                                fork = self.capture_fork()
+                            self._private_replay(
+                                resolutions[fid], fork, spec, (), (),
+                                sched_positions, golden_digests, memo,
+                            )
+                    next_arm = (
+                        specs[next_spec].dynamic_id
+                        if next_spec < nspecs
+                        else -1
+                    )
+
+                # ------- divergence reaching this op's operands ------- #
+                aff = None
+                if fdiv:
+                    for s in op.src:
+                        if s >= 0:
+                            m = fdiv.get(s)
+                            if m:
+                                if aff is None:
+                                    aff = set(m)
+                                else:
+                                    aff.update(m)
+
+                # ------- control-flow / addressing divergence: evict ---- #
+                if aff:
+                    evictees = None
+                    if kind == K_LOAD:
+                        evictees = aff  # the only operand is the address
+                        aff = None
+                    elif kind == K_STORE:
+                        s = op.src[1]
+                        m = fdiv.get(s) if s >= 0 else None
+                        if m:
+                            evictees = set(m)
+                            aff = aff - evictees
+                            if not aff:
+                                aff = None
+                    elif kind == K_BR_COND:
+                        cond_map = fdiv.get(op.src[0]) if op.src[0] >= 0 else None
+                        if cond_map:
+                            evictees = {
+                                fid
+                                for fid, v in cond_map.items()
+                                if bool(v) != bool(values[0])
+                            } or None
+                        aff = None  # same-direction divergence has no value effect
+                    if evictees:
+                        if fork is None:
+                            frame.pc = pc
+                            self._dyn = dyn
+                            fork = self.capture_fork()
+                        for fid in sorted(evictees):
+                            reg_patches, cell_patches = collect_patches(fid)
+                            drop_fault(fid)
+                            self._private_replay(
+                                resolutions[fid], fork, None, reg_patches,
+                                cell_patches, sched_positions, golden_digests,
+                                memo,
+                            )
+                if aff:
+                    if workers is None:
+                        workers = dict.fromkeys(aff)
+                    else:
+                        for fid in aff:
+                            workers.setdefault(fid)
+
+                # ------- golden execution + divergence updates ------- #
+                result: Optional[Number] = None
+                next_pc = pc + 1
+                load_fmap = None
+                phi_position = -1
+
+                if kind == K_FN or kind == K_CALL_INTRINSIC:
+                    result = op.fn(values)
+                elif kind == K_LOAD:
+                    address = int(values[0])
+                    obj, element_index = resolve(address)
+                    check_access(obj, op.result_type, address)
+                    result = obj.get(element_index)
+                    cmap = cells.get(obj.name)
+                    if cmap is not None:
+                        load_fmap = cmap.get(element_index)
+                        if load_fmap:
+                            # readers of diverged cells diverge in the dest
+                            if workers is None:
+                                workers = {}
+                            for fid in load_fmap:
+                                workers.setdefault(fid)
+                elif kind == K_STORE:
+                    address = int(values[1])
+                    obj, element_index = resolve(address)
+                    check_access(obj, op.op_types[0], address)
+                    obj.set(element_index, values[0])
+                    cmap = cells.get(obj.name)
+                    had_old = cmap is not None and element_index in cmap
+                    if workers or had_old or birth_store_old:
+                        golden_stored = obj.get(element_index)
+                        new = None
+                        errored = None
+                        if workers:
+                            new = {}
+                            for fid, armed in workers.items():
+                                try:
+                                    vals = fault_operands(fid, armed)
+                                    cast = obj.cast_value(vals[0])
+                                except Exception as exc:
+                                    if errored is None:
+                                        errored = []
+                                    errored.append((fid, exc))
+                                    continue
+                                if not _values_bit_equal(cast, golden_stored):
+                                    new[fid] = cast
+                        old = cmap.pop(element_index, None) if cmap else None
+                        if errored:
+                            for fid, exc in errored:
+                                resolve_error(fid, exc)
+                                if new:
+                                    new.pop(fid, None)
+                        if old:
+                            for fid in old:
+                                if new is None or fid not in new:
+                                    dec_divergence(fid)
+                        if new:
+                            for fid in new:
+                                if old is None or fid not in old:
+                                    div_count[fid] = div_count.get(fid, 0) + 1
+                            cells.setdefault(obj.name, {})[element_index] = new
+                        if birth_store_old:
+                            # the flipped old value is overwritten by this
+                            # very store: provably golden from here on
+                            for fid in birth_store_old:
+                                resolve_golden(fid, op_dyn)
+                elif kind == K_GEP:
+                    result = int(values[0]) + int(values[1]) * op.gep_size
+                elif kind == K_BR_COND:
+                    if values[0]:
+                        next_pc = op.pc_true
+                    else:
+                        next_pc = op.pc_false
+                    frame.prev_block = op.block_index
+                elif kind == K_BR:
+                    next_pc = op.pc_true
+                    frame.prev_block = op.block_index
+                elif kind == K_RET:
+                    result = values[0] if values else None
+                    ret_divs = None
+                    if workers:
+                        errored = None
+                        ret_divs = {}
+                        for fid, armed in workers.items():
+                            try:
+                                vals = fault_operands(fid, armed)
+                            except Exception as exc:
+                                if errored is None:
+                                    errored = []
+                                errored.append((fid, exc))
+                                continue
+                            ret_divs[fid] = vals[0] if vals else None
+                        if errored:
+                            for fid, exc in errored:
+                                resolve_error(fid, exc)
+                    popped = frames.pop()
+                    pdiv = popped.div
+                    if pdiv:
+                        for m in pdiv.values():
+                            for fid in m:
+                                dec_divergence(fid)
+                        popped.div = None
+                    for stack_obj in popped.stack_objects:
+                        memory.release(stack_obj)
+                        cmap = cells.pop(stack_obj.name, None)
+                        if cmap:
+                            for m in cmap.values():
+                                for fid in m:
+                                    dec_divergence(fid)
+                    dyn += 1
+                    if not frames:
+                        # entry return: survivors resolve to golden patched
+                        # with their cell deltas
+                        for fid in list(active):
+                            resolution = resolutions[fid]
+                            resolution.kind = "completed"
+                            rv = result
+                            if ret_divs and fid in ret_divs:
+                                rv = ret_divs[fid]
+                            resolution.return_value = rv
+                            resolution.steps = dyn
+                            deltas = []
+                            for name, cmap in cells.items():
+                                for index, m in cmap.items():
+                                    if fid in m:
+                                        deltas.append((name, index, m[fid]))
+                            resolution.cell_deltas = deltas
+                        active.clear()
+                        break
+                    ret_slot = popped.ret_slot
+                    frame = frames[-1]
+                    if ret_slot >= 0:
+                        if result is None:
+                            raise VMError(
+                                f"call to {op.function} returned no value"
+                            )
+                        frame.regs[ret_slot] = result
+                        cdiv = frame.div
+                        old = cdiv.pop(ret_slot, None) if cdiv else None
+                        new = None
+                        if ret_divs:
+                            new = {
+                                fid: v
+                                for fid, v in ret_divs.items()
+                                if fid in active
+                                and not _values_bit_equal(v, result)
+                            }
+                        if old:
+                            for fid in old:
+                                if new is None or fid not in new:
+                                    dec_divergence(fid)
+                        if new:
+                            for fid in new:
+                                if old is None or fid not in old:
+                                    div_count[fid] = div_count.get(fid, 0) + 1
+                            if cdiv is None:
+                                cdiv = frame.div = {}
+                            cdiv[ret_slot] = new
+                    ops = frame.df.ops
+                    regs = frame.regs
+                    pc = frame.pc
+                    if drained:
+                        for fid in drained:
+                            if fid in active and div_count.get(fid, 0) == 0:
+                                resolve_golden(fid, op_dyn)
+                        drained.clear()
+                    if born:
+                        for fid in born:
+                            if fid in active and div_count.get(fid, 0) == 0:
+                                resolve_golden(fid, op_dyn)
+                    if not active and next_spec >= nspecs:
+                        break
+                    continue
+                elif kind == K_CALL_USER:
+                    callee_df = functions.get(op.callee)
+                    if callee_df is None:
+                        raise UnknownIntrinsic(
+                            f"call to unknown function {op.callee!r}"
+                        )
+                    if len(frames) >= max_depth:
+                        raise VMError(
+                            f"call depth limit ({max_depth}) exceeded"
+                        )
+                    frame.pc = next_pc
+                    callee_frame = _Frame(callee_df)
+                    nargs = min(callee_df.nargs, len(values))
+                    callee_frame.regs[:nargs] = values[:nargs]
+                    callee_frame.ret_slot = op.dest
+                    callee_frame.ret_dyn = dyn
+                    if workers:
+                        cdiv = None
+                        for fid, armed in workers.items():
+                            try:
+                                vals = fault_operands(fid, armed)
+                            except Exception as exc:
+                                resolve_error(fid, exc)
+                                continue
+                            for position in range(nargs):
+                                if not _values_bit_equal(
+                                    vals[position], values[position]
+                                ):
+                                    if cdiv is None:
+                                        cdiv = {}
+                                    cdiv.setdefault(position, {})[fid] = vals[position]
+                                    div_count[fid] = div_count.get(fid, 0) + 1
+                        if cdiv:
+                            callee_frame.div = cdiv
+                    frames.append(callee_frame)
+                    dyn += 1
+                    frame = callee_frame
+                    ops = callee_df.ops
+                    regs = frame.regs
+                    pc = 0
+                    if born:
+                        for fid in born:
+                            if fid in active and div_count.get(fid, 0) == 0:
+                                resolve_golden(fid, op_dyn)
+                    if not active and next_spec >= nspecs:
+                        break
+                    continue
+                elif kind == K_ALLOCA:
+                    obj = memory.allocate_stack(
+                        op.alloca_hint, op.alloca_type, op.alloca_count
+                    )
+                    frame.stack_objects.append(obj)
+                    result = obj.base
+                else:  # K_PHI
+                    prev = frame.prev_block
+                    if prev < 0:
+                        raise VMError("phi executed in the entry block")
+                    phi_position = op.phi_by_block.get(prev, -1)
+                    if phi_position < 0:
+                        raise VMError(
+                            f"phi has no incoming value for predecessor "
+                            f"{frame.df.block_labels[prev]}"
+                        )
+                    result = values[phi_position]
+
+                # ------- generic dest write + divergence rebuild ------- #
+                dest = op.dest
+                if dest >= 0:
+                    new = None
+                    errored = None
+                    if workers:
+                        new = {}
+                        for fid, armed in workers.items():
+                            try:
+                                if kind == K_LOAD:
+                                    r_f = (
+                                        load_fmap[fid]
+                                        if load_fmap and fid in load_fmap
+                                        else result
+                                    )
+                                elif kind == K_GEP:
+                                    vals = fault_operands(fid, armed)
+                                    r_f = (
+                                        int(vals[0])
+                                        + int(vals[1]) * op.gep_size
+                                    )
+                                elif kind == K_PHI:
+                                    vals = fault_operands(fid, armed)
+                                    r_f = vals[phi_position]
+                                else:  # K_FN / K_CALL_INTRINSIC
+                                    vals = fault_operands(fid, armed)
+                                    r_f = op.fn(vals)
+                            except Exception as exc:
+                                if errored is None:
+                                    errored = []
+                                errored.append((fid, exc))
+                                continue
+                            if not _values_bit_equal(r_f, result):
+                                new[fid] = r_f
+                    regs[dest] = result
+                    if fdiv is not None or new:
+                        old = fdiv.pop(dest, None) if fdiv else None
+                        if errored:
+                            for fid, exc in errored:
+                                resolve_error(fid, exc)
+                                if new:
+                                    new.pop(fid, None)
+                        if old:
+                            for fid in old:
+                                if new is None or fid not in new:
+                                    dec_divergence(fid)
+                        if new:
+                            for fid in new:
+                                if old is None or fid not in old:
+                                    div_count[fid] = div_count.get(fid, 0) + 1
+                            if fdiv is None:
+                                fdiv = frame.div = {}
+                            fdiv[dest] = new
+                    elif errored:
+                        for fid, exc in errored:
+                            resolve_error(fid, exc)
+
+                dyn += 1
+                if drained:
+                    for fid in drained:
+                        if fid in active and div_count.get(fid, 0) == 0:
+                            resolve_golden(fid, op_dyn)
+                    drained.clear()
+                if born:
+                    for fid in born:
+                        if fid in active and div_count.get(fid, 0) == 0:
+                            resolve_golden(fid, op_dyn)
+                if not active and next_spec >= nspecs:
+                    break
+                pc = next_pc
+        except BaseException:
+            while frames:
+                dead = frames.pop()
+                for stack_obj in dead.stack_objects:
+                    memory.release(stack_obj)
+            raise
+        finally:
+            self._dyn = dyn
+
+        return resolutions
+
+    # ------------------------------------------------------------------ #
     # pause handling (snapshot capture / convergence checks)
     # ------------------------------------------------------------------ #
     def _next_pause(self) -> int:
-        check = (
-            self._golden_schedule[self._check_cursor].dyn
-            if self._golden_schedule is not None
+        nxt = self._next_capture
+        if (
+            self._golden_schedule is not None
             and self._check_cursor < len(self._golden_schedule)
-            else _NEVER
-        )
-        return min(self._next_capture, check)
+        ):
+            check = self._golden_schedule[self._check_cursor].dyn
+            if check < nxt:
+                nxt = check
+        if (
+            self._digest_positions is not None
+            and self._digest_cursor < len(self._digest_positions)
+        ):
+            check = self._digest_positions[self._digest_cursor]
+            if check < nxt:
+                nxt = check
+        if self._stop_at < nxt:
+            nxt = self._stop_at
+        return nxt
 
     def _on_pause(self) -> bool:
         """Handle a scheduled pause at the current dynamic id.
@@ -647,7 +1620,29 @@ class Engine:
             self._check_cursor += 1
             if golden.matches_live(self):
                 self.converged = True
+                self.converged_at = golden.dyn
                 return True
+        if (
+            self._digest_positions is not None
+            and self._digest_cursor < len(self._digest_positions)
+            and self._dyn == self._digest_positions[self._digest_cursor]
+        ):
+            self._digest_cursor += 1
+            digest = self.state_digest()
+            golden = self._golden_digests.get(self._dyn)
+            if golden is not None and digest == golden:
+                self.converged = True
+                self.converged_at = self._dyn
+                return True
+            if self._memo is not None:
+                entry = self._memo.lookup(self._dyn, digest)
+                if entry is not None:
+                    self.memo_entry = entry
+                    return True
+            self.visited.append((self._dyn, digest))
+        if self._dyn == self._stop_at:
+            self.paused = True
+            return True
         return False
 
     # ------------------------------------------------------------------ #

@@ -73,6 +73,14 @@ class DataObject:
     is_stack: bool = False
     array: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
 
+    #: Copy-on-write marker (class attribute, not a dataclass field): when a
+    #: :meth:`Memory.fork` shares this object's backing array with another
+    #: address space, both sides are flagged and the first typed write
+    #: (:meth:`set` / :meth:`fill_from`) makes a private copy.  Direct
+    #: ``.array`` mutation bypasses the barrier — forked memories must only
+    #: be written through the typed accessors (the VM always is).
+    _cow_shared = False
+
     @property
     def element_size(self) -> int:
         return self.element_type.size_bytes
@@ -112,10 +120,29 @@ class DataObject:
         return int(value)
 
     def set(self, index: int, value: Number) -> None:
+        if self._cow_shared:
+            self.array = self.array.copy()
+            self._cow_shared = False
         if self.element_type.is_float:
             self.array[index] = float(value)
         else:
             self.array[index] = to_signed(int(value), max(8, self.element_type.bits))
+
+    def cast_value(self, value: Number) -> Number:
+        """The exact Python value :meth:`get` would return after
+        ``set(index, value)`` — i.e. ``value`` pushed through the backing
+        array's dtype (f32 rounding, integer wrapping) and back.
+
+        The lockstep batch replay uses this to predict a store's stored
+        bits without touching memory.
+        """
+        if self.element_type.is_float:
+            return float(self.array.dtype.type(float(value)))
+        return int(
+            self.array.dtype.type(
+                to_signed(int(value), max(8, self.element_type.bits))
+            )
+        )
 
     def values(self) -> np.ndarray:
         """A copy of the current contents as a NumPy array."""
@@ -127,6 +154,9 @@ class DataObject:
             raise ValueError(
                 f"cannot fill {self.name} (count={self.count}) from shape {data.shape}"
             )
+        if self._cow_shared:
+            self.array = self.array.copy()
+            self._cow_shared = False
         if self.element_type.is_float:
             self.array[:] = data.astype(self.array.dtype)
         else:
@@ -267,6 +297,41 @@ class Memory:
         new_value = bits_to_value(flipped, obj.element_type)
         obj.set(index, new_value)
         return new_value
+
+    # ------------------------------------------------------------------ #
+    # copy-on-write forks (batched replay)
+    # ------------------------------------------------------------------ #
+    def fork(self) -> "Memory":
+        """A copy-on-write clone of the complete address space.
+
+        The clone sees the exact current state (same objects, same base
+        addresses, same allocator counters) but owns its own registry, so
+        allocations and releases on either side are invisible to the other.
+        Backing arrays are *shared* until written: both sides are flagged
+        ``_cow_shared`` and the first typed write (``set``/``fill_from``)
+        on either side copies that object's array privately.  Forking is
+        therefore O(objects), not O(bytes) — the cheap divergence-window
+        isolation the batched replay scheduler forks per fault.
+        """
+        clone = Memory.__new__(Memory)
+        clone._next_address = self._next_address
+        clone._stack_counter = self._stack_counter
+        clone._objects = {}
+        for name, obj in self._objects.items():
+            obj._cow_shared = True
+            twin = DataObject(
+                name=obj.name,
+                element_type=obj.element_type,
+                count=obj.count,
+                base=obj.base,
+                is_stack=obj.is_stack,
+                array=obj.array,
+            )
+            twin._cow_shared = True
+            clone._objects[name] = twin
+        clone._bases = list(self._bases)
+        clone._by_base = [clone._objects[obj.name] for obj in self._by_base]
+        return clone
 
     # ------------------------------------------------------------------ #
     # full-state images (engine checkpointing)

@@ -42,6 +42,14 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
 #: The eight benchmarks of Table I, in row order.
 TABLE1_ROWS: List[str] = ["cg", "mg", "ft", "bt", "sp", "lu", "lulesh", "amg"]
 
+#: Reserved name for protected-plan variants: ``get_workload("protected",
+#: plan=<ProtectionPlan.to_dict() payload>)`` applies the plan and returns
+#: the protected workload.  This makes protected variants addressable by
+#: ``(name, kwargs)`` exactly like registry workloads, so the parallel
+#: campaign runner and the orchestrator can rebuild them in worker
+#: processes and content-address their campaigns.
+PROTECTED_WORKLOAD = "protected"
+
 
 def workload_names() -> List[str]:
     """All registered workload names."""
@@ -55,7 +63,7 @@ def validate_workload(name: str) -> str:
     did-you-mean suggestions) before any golden run or store row is
     created.
     """
-    if name in WORKLOADS:
+    if name in WORKLOADS or name == PROTECTED_WORKLOAD:
         return name
     suggestions = difflib.get_close_matches(name, workload_names(), n=3)
     hint = f" (did you mean {', '.join(suggestions)}?)" if suggestions else ""
@@ -82,6 +90,20 @@ def get_workload(name: str, **kwargs) -> Workload:
     """Instantiate a registered workload by name.
 
     Keyword arguments are forwarded to the workload constructor (problem
-    sizes, ``seed``, …).
+    sizes, ``seed``, …).  The reserved name ``"protected"`` takes a
+    ``plan=`` keyword (a persisted ``ProtectionPlan.to_dict()`` payload)
+    and returns the plan's applied variant.
     """
+    if name == PROTECTED_WORKLOAD:
+        payload = kwargs.pop("plan", None)
+        if payload is None or kwargs:
+            raise TypeError(
+                "the 'protected' workload takes exactly one keyword: "
+                "plan=<ProtectionPlan.to_dict() payload>"
+            )
+        # deferred import: the protection package builds on workloads
+        from repro.protection.advisor import ProtectionPlan
+        from repro.protection.apply import apply_plan
+
+        return apply_plan(ProtectionPlan.from_dict(dict(payload)))
     return WORKLOADS[validate_workload(name)](**kwargs)

@@ -1,0 +1,187 @@
+"""Copy-on-write semantics of :meth:`Memory.fork` and engine forks.
+
+The batched replay scheduler forks the walk's memory image at every
+eviction point and hands each divergent fault its own clone; these tests
+pin down the isolation contract that makes that safe: arrays are shared
+until written, the first typed write on either side copies privately, and
+allocator state (bases, counters, stack objects) is carried over exactly.
+
+The suite also runs in the CI pure-python leg (``REPRO_NO_NUMPY=1``) —
+the fork path itself is backend-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.types import F64, I32
+from repro.vm.engine import Engine
+from repro.vm.memory import Memory
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture
+def memory():
+    mem = Memory()
+    mem.allocate("a", F64, 4, initial=[1.0, 2.0, 3.0, 4.0])
+    mem.allocate("idx", I32, 3, initial=[7, 8, 9])
+    return mem
+
+
+class TestMemoryFork:
+    def test_fork_shares_arrays_until_written(self, memory):
+        clone = memory.fork()
+        assert clone.object("a").array is memory.object("a").array
+        assert clone.object("idx").array is memory.object("idx").array
+
+    def test_write_to_clone_is_invisible_to_source(self, memory):
+        clone = memory.fork()
+        clone.object("a").set(1, -5.5)
+        assert clone.object("a").get(1) == -5.5
+        assert memory.object("a").get(1) == 2.0
+        # only the written object detached; the other stays shared
+        assert clone.object("a").array is not memory.object("a").array
+        assert clone.object("idx").array is memory.object("idx").array
+
+    def test_write_to_source_is_invisible_to_clone(self, memory):
+        clone = memory.fork()
+        memory.object("idx").set(0, 42)
+        assert memory.object("idx").get(0) == 42
+        assert clone.object("idx").get(0) == 7
+
+    def test_fill_from_triggers_copy(self, memory):
+        clone = memory.fork()
+        clone.object("idx").fill_from([1, 2, 3])
+        assert memory.object("idx").get(2) == 9
+        assert clone.object("idx").get(2) == 3
+
+    def test_flip_bit_at_respects_cow(self, memory):
+        clone = memory.fork()
+        address = clone.object("idx").address_of(1)
+        clone.flip_bit_at(address, 0)
+        assert clone.object("idx").get(1) == 9  # 8 ^ 1
+        assert memory.object("idx").get(1) == 8
+
+    def test_addresses_and_resolution_survive_the_fork(self, memory):
+        clone = memory.fork()
+        for name in ("a", "idx"):
+            assert clone.object(name).base == memory.object(name).base
+        obj, index = clone.resolve(memory.object("a").address_of(2))
+        assert obj is clone.object("a") and index == 2
+
+    def test_allocator_state_is_cloned(self, memory):
+        clone = memory.fork()
+        source_obj = memory.allocate_stack("t", F64, 2)
+        clone_obj = clone.allocate_stack("t", F64, 2)
+        # same counter at fork time -> same deterministic name and base
+        assert source_obj.name == clone_obj.name
+        assert source_obj.base == clone_obj.base
+        assert source_obj.name not in clone._objects or (
+            clone.object(clone_obj.name) is clone_obj
+        )
+        # and the allocations are invisible across the fork boundary
+        assert clone_obj.name in clone
+        assert source_obj.name in memory
+
+    def test_release_on_clone_keeps_source_object(self, memory):
+        clone = memory.fork()
+        clone.release(clone.object("a"))
+        assert "a" not in clone
+        assert "a" in memory
+        assert memory.object("a").get(0) == 1.0
+
+    def test_fork_of_fork(self, memory):
+        first = memory.fork()
+        second = first.fork()
+        second.object("a").set(0, 99.0)
+        assert memory.object("a").get(0) == 1.0
+        assert first.object("a").get(0) == 1.0
+        assert second.object("a").get(0) == 99.0
+
+    def test_values_returns_private_copies(self, memory):
+        clone = memory.fork()
+        values = clone.object("a").values()
+        values[0] = -1.0
+        assert clone.object("a").get(0) == 1.0
+        assert memory.object("a").get(0) == 1.0
+
+    def test_capture_image_of_shared_clone_matches_source(self, memory):
+        clone = memory.fork()
+        assert clone.capture_image() == memory.capture_image()
+        clone.object("a").set(3, 0.0)
+        assert clone.capture_image() != memory.capture_image()
+
+    def test_cast_value_predicts_stored_bits(self, memory):
+        a = memory.object("a")
+        idx = memory.object("idx")
+        for value in (1.5, -0.0, 2.0**-1030, float("inf")):
+            a.set(0, value)
+            assert a.cast_value(value) == a.get(0)
+        for value in (5, -5, 2**40, 2**31 - 1, 2**31):
+            idx.set(0, value)
+            assert idx.cast_value(value) == idx.get(0)
+
+
+class TestEngineFork:
+    def test_engine_fork_isolation_and_resume(self):
+        """A forked engine state replays to the same result as the original
+        run, and its mutations never leak into the walk's memory."""
+        workload = get_workload("matmul", n=4)
+        instance = workload.fresh_instance()
+        engine = Engine(instance.module, instance.memory, snapshot_interval=300)
+        result = engine.run(workload.entry, instance.args)
+        golden = {
+            name: instance.memory.object(name).values()
+            for name in workload.output_objects
+        }
+
+        # walk a cursor to mid-run, fork, finish both sides independently
+        cursor = Engine(instance.module, instance.memory)
+        cursor.prepare_resume(engine.snapshots[0])
+        cursor.run_to(engine.snapshots[2].dyn)
+        assert cursor.paused
+        fork = cursor.capture_fork()
+
+        replica = Engine(instance.module, fork.memory)
+        replica.adopt_fork(fork)
+        replica_result = replica._loop()
+        assert replica_result.steps == result.steps
+        assert replica_result.return_value == result.return_value
+        for name in golden:
+            assert np.array_equal(
+                golden[name], replica.memory.object(name).values()
+            ), name
+
+        # the cursor finishes on its own memory, unaffected by the replica
+        cursor.run_to(engine.snapshots[3].dyn)
+        cursor_result = cursor._loop()
+        assert cursor_result.steps == result.steps
+        for name in golden:
+            assert np.array_equal(
+                golden[name], instance.memory.object(name).values()
+            ), name
+
+    def test_state_digest_matches_snapshot_digest(self):
+        from repro.vm.engine import snapshot_digest
+
+        workload = get_workload("matmul", n=4)
+        instance = workload.fresh_instance()
+        engine = Engine(instance.module, instance.memory, snapshot_interval=250)
+        engine.run(workload.entry, instance.args)
+        snapshots = engine.snapshots
+        assert len(snapshots) >= 3
+
+        cursor = Engine(instance.module, instance.memory)
+        cursor.prepare_resume(snapshots[0])
+        digests = {snap.dyn: snapshot_digest(snap) for snap in snapshots}
+        for snap in snapshots[1:3]:
+            cursor.run_to(snap.dyn)
+            assert cursor.state_digest() == digests[snap.dyn]
+        # a mutated clone digests differently
+        fork = cursor.capture_fork()
+        clone = Engine(instance.module, fork.memory)
+        clone.adopt_fork(fork)
+        assert clone.state_digest() == cursor.state_digest()
+        clone.memory.object("C").set(0, 123.456)
+        assert clone.state_digest() != cursor.state_digest()

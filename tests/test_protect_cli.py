@@ -131,7 +131,7 @@ class TestProtectSubprocess:
         assert "object(s) protected" in proc.stdout
 
 
-class TestStoreMigrationV2ToV3:
+class TestStoreMigrationChain:
     def _make_v2_store(self, path, campaign_id="cdeadbeef00000000"):
         """Fabricate a v2-era store file with one campaign + one shard."""
         with CampaignStore(path) as store:
@@ -145,12 +145,41 @@ class TestStoreMigrationV2ToV3:
             conn.execute("DROP TABLE validation_runs")
         conn.close()
 
-    def test_migration_preserves_campaigns_and_adds_tables(self, tmp_path):
+    def _make_v3_store(self, path):
+        """Fabricate a v3-era store: no replay-batch columns anywhere."""
+        with CampaignStore(path) as store:
+            campaign_id = store.ensure_campaign(
+                "matmul", {"n": 4}, {"kind": "exhaustive"}, 8
+            )
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
+            )
+            for column in ("batches", "memo_hits", "memo_misses"):
+                conn.execute(f"ALTER TABLE shards DROP COLUMN {column}")
+            conn.execute("ALTER TABLE validation_runs DROP COLUMN campaign_id")
+            conn.execute(
+                "INSERT INTO shards (campaign_id, shard_index, object_name, "
+                "batch, run_id, spec_count, duration_s, analysis_s, "
+                "recorded_at) VALUES (?, 0, 'C', 0, 1, 8, 0.5, 0.1, 0)",
+                (campaign_id,),
+            )
+            conn.execute(
+                "INSERT INTO validation_runs (plan_id, object_name, variant, "
+                "scheme, tests, successes, histogram, recorded_at) "
+                "VALUES ('p1', 'C', 'baseline', 'abft_checksum', 10, 5, "
+                "'{}', 0)"
+            )
+        conn.close()
+        return campaign_id
+
+    def test_v2_migration_preserves_campaigns_and_adds_tables(self, tmp_path):
         path = str(tmp_path / "old.sqlite")
         self._make_v2_store(path)
 
         with CampaignStore(path) as store:
-            assert store.schema_version == SCHEMA_VERSION == 3
+            assert store.schema_version == SCHEMA_VERSION == 4
             # old campaign rows survive untouched
             (record,) = store.campaigns()
             assert record.workload == "matmul"
@@ -159,13 +188,35 @@ class TestStoreMigrationV2ToV3:
             store.save_protection_plan("p123", "matmul", {"n": 4}, 2.0, {"x": 1})
             assert store.protection_plan("p123").plan == {"x": 1}
 
+    def test_v3_migration_defaults_replay_batch_columns(self, tmp_path):
+        path = str(tmp_path / "v3.sqlite")
+        campaign_id = self._make_v3_store(path)
+
+        with CampaignStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION == 4
+            # pre-batching shard rows read back with zeroed counters
+            (shard,) = store.completed_shards(campaign_id).values()
+            assert shard.spec_count == 8 and shard.duration_s == 0.5
+            assert shard.batches == 0
+            assert shard.memo_hits == 0 and shard.memo_misses == 0
+            assert shard.faults_per_restore == 0.0
+            # pre-orchestrator validation rows carry an empty campaign link
+            (run,) = store.validation_runs("p1")
+            assert run.tests == 10 and run.campaign_id == ""
+            # new writes land with the columns populated
+            store.save_validation_run(
+                "p2", "C", "protected", "abft_checksum", 4, 4, {},
+                campaign_id="c123",
+            )
+            assert store.validation_runs("p2")[0].campaign_id == "c123"
+
     def test_protect_plan_on_migrated_store(self, tmp_path, capsys):
         path = str(tmp_path / "old.sqlite")
         self._make_v2_store(path)
         assert main([*PLAN_ARGS, "--store", path]) == 0
         assert "object(s) protected" in capsys.readouterr().out
         with CampaignStore(path) as store:
-            assert store.schema_version == 3
+            assert store.schema_version == 4
             assert len(store.protection_plans()) == 1
 
     def test_future_versions_still_rejected(self, tmp_path):

@@ -273,7 +273,7 @@ class TestClosedLoop:
                 plan.budget, plan.to_dict(),
             )
             report = validate_plan(
-                plan, store=store, bit_stride=8, max_tests=30, protected=protected
+                plan, store=store, bit_stride=8, max_tests=30
             )
             improvements = {
                 name: report.improvement(name) for name in plan.protected_objects()
@@ -292,3 +292,92 @@ class TestClosedLoop:
                 assert row.successes == outcome.successes
                 assert row.tests == outcome.tests
                 assert row.histogram == outcome.histogram
+                # v4: every row names the orchestrated campaign behind it,
+                # whose shards carry timings + replay-batch telemetry
+                assert row.campaign_id
+                shards = store.completed_shards(row.campaign_id)
+                assert shards, row.campaign_id
+                assert sum(s.spec_count for s in shards.values()) >= row.tests
+
+
+# --------------------------------------------------------------------- #
+# validation through the orchestrator (ISSUE 5 acceptance criterion)
+# --------------------------------------------------------------------- #
+class TestOrchestratedValidation:
+    def _plan(self, tmp_path):
+        workload = get_workload("matmul", **MATMUL_KWARGS)
+        reports, trace = _analyze(workload)
+        advisor = ProtectionAdvisor(workload, trace, workload_kwargs=MATMUL_KWARGS)
+        plan = advisor.advise(reports, budget=2.0)
+        assert plan.selections
+        return plan
+
+    @staticmethod
+    def _rows(store, plan_id):
+        return [
+            (r.object_name, r.variant, r.tests, r.successes,
+             tuple(sorted(r.histogram.items())))
+            for r in store.validation_runs(plan_id)
+        ]
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        plan = self._plan(tmp_path)
+        with CampaignStore(tmp_path / "straight.sqlite") as straight:
+            validate_plan(
+                plan, store=straight, max_tests=24, workers=1, shard_size=8
+            )
+            want = self._rows(straight, plan.plan_id)
+            assert want
+
+        with CampaignStore(tmp_path / "killed.sqlite") as killed:
+            # kill mid-campaign: one shard per variant, nothing persisted
+            validate_plan(
+                plan, store=killed, max_tests=24, workers=1, shard_size=8,
+                max_shards=1,
+            )
+            assert self._rows(killed, plan.plan_id) == []
+            # resume == re-run: persisted shards are skipped, the rest
+            # executed, and the final rows equal the uninterrupted run's
+            validate_plan(
+                plan, store=killed, max_tests=24, workers=1, shard_size=8
+            )
+            assert self._rows(killed, plan.plan_id) == want
+            # the resume actually skipped work (run accounting proves it)
+            from repro.protection.validate import validation_campaign
+
+            for variant in ("baseline", "protected"):
+                orchestrator = validation_campaign(
+                    plan, killed, variant, max_tests=24, workers=1,
+                    shard_size=8,
+                )
+                accounting = killed.run_accounting(orchestrator.campaign_id)
+                assert len(accounting) == 2
+                first_run, second_run = accounting
+                assert first_run[1] == 1  # executed exactly max_shards
+                assert second_run[2] >= 1  # resume skipped persisted shards
+                shards = killed.completed_shards(orchestrator.campaign_id)
+                assert {s.run_id for s in shards.values()} == {1, 2}
+
+    def test_validate_honors_repro_workers(self, tmp_path, monkeypatch):
+        from repro.protection.validate import validation_campaign
+
+        plan = self._plan(tmp_path)
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        with CampaignStore(tmp_path / "workers.sqlite") as store:
+            orchestrator = validation_campaign(plan, store, "baseline")
+            assert orchestrator.workers == 3
+
+    def test_protected_variant_is_registry_addressable(self, tmp_path):
+        plan = self._plan(tmp_path)
+        variant = get_workload("protected", plan=plan.to_dict())
+        baseline = get_workload(plan.workload, **plan.workload_kwargs)
+        golden_variant = variant.fresh_instance().run()
+        golden_baseline = baseline.fresh_instance().run()
+        for name in baseline.output_objects:
+            assert np.array_equal(
+                golden_variant.outputs[name], golden_baseline.outputs[name]
+            ), name
+        with pytest.raises(TypeError):
+            get_workload("protected")
+        with pytest.raises(TypeError):
+            get_workload("protected", plan=plan.to_dict(), n=4)

@@ -1,0 +1,266 @@
+"""Parity oracle: the batched replay scheduler vs sequential replay.
+
+The acceptance bar of the batched scheduler is *bit identity*: for every
+registered workload and a diverse fault sample (operand flips, store-
+destination flips, result flips; masked, SDC, crashing and addressing
+faults), submitting the specs through
+:meth:`~repro.core.replay.BatchedReplayContext.replay_many` must reproduce
+per-fault sequential :meth:`~repro.core.replay.ReplayContext.replay`
+exactly — same outcome (corrupted output bits, return value, step count),
+same exception type and message for crashes/hangs, and, when both paths
+prove golden convergence, a batched convergence op at or before the
+sequential one (the lockstep walk detects state re-convergence at the
+divergence-death op; sequential only probes at checkpoint positions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.injector import DeterministicFaultInjector
+from repro.core.replay import BatchedReplayContext, ReplayContext
+from repro.core.sites import enumerate_fault_sites
+from repro.vm.faults import FaultSpec, FaultTarget
+from repro.workloads.registry import get_workload, workload_names
+
+#: Reduced problem sizes so the all-workload parity sweep stays fast.
+SMALL_KWARGS = {
+    "amg": {"n": 6, "m": 2},
+    "cg": {"n": 10, "cgitmax": 2},
+    "lu": {"n": 8, "niter": 1},
+    "lulesh": {"num_elem": 12},
+    "matmul": {"n": 5},
+    "matmul_abft": {"n": 5},
+    "mg": {"nf": 9, "ncycles": 1},
+    "pf": {"nparticles": 8, "nframes": 1},
+    "pf_abft": {"nparticles": 8, "nframes": 1},
+}
+
+ALL_WORKLOADS = workload_names()
+
+
+def _small(name):
+    return get_workload(name, **SMALL_KWARGS.get(name, {}))
+
+
+def _sample_specs(workload, trace, per_object=24, bit_stride=7):
+    """A deterministic, diverse sample of the workload's fault space."""
+    specs = []
+    for target in workload.target_objects:
+        sites = enumerate_fault_sites(trace, target, bit_stride=bit_stride)
+        step = max(1, len(sites) // per_object)
+        specs.extend(site.to_spec() for site in sites[::step][:per_object])
+    # result-target faults exercise the evict-at-birth private path
+    for event in list(trace)[:: max(1, len(trace) // 6)]:
+        if event.result_value is not None:
+            specs.append(FaultSpec(
+                dynamic_id=event.dynamic_id,
+                bit=17 % max(1, event.result_type.bits),
+                target=FaultTarget.RESULT,
+            ))
+    return specs
+
+
+def _sequential_outcomes(context, specs):
+    out = []
+    for spec in specs:
+        try:
+            outcome = context.replay(spec)
+        except Exception as exc:  # noqa: BLE001 - crash parity checked below
+            out.append(("error", exc, None))
+            continue
+        out.append(("ok", outcome, context))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the core property: batched == sequential, bit for bit
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_batched_replay_bit_identical_to_sequential(name):
+    workload = _small(name)
+    trace = workload.traced_run().trace
+    specs = _sample_specs(workload, trace)
+    assert specs, "sample must not be empty"
+
+    sequential = ReplayContext(workload)
+    expected = _sequential_outcomes(sequential, specs)
+
+    batched = BatchedReplayContext(workload)
+    results = batched.replay_many(specs)
+    assert len(results) == len(specs)
+    assert batched.replays == len(specs)
+
+    for index, (tag, payload, _) in enumerate(expected):
+        result = results[index]
+        assert result.spec == specs[index]
+        if tag == "error":
+            assert result.outcome is None
+            assert type(result.error) is type(payload), (index, specs[index])
+            assert str(result.error) == str(payload), (index, specs[index])
+            continue
+        assert result.error is None, (index, specs[index], result.error)
+        outcome = result.outcome
+        assert outcome.return_value == payload.return_value, (index, specs[index])
+        assert outcome.steps == payload.steps, (index, specs[index])
+        for obj in payload.outputs:
+            assert np.array_equal(
+                outcome.outputs[obj].view(np.uint8),
+                payload.outputs[obj].view(np.uint8),
+            ), (index, specs[index], obj, result.via)
+
+    stats = batched.stats
+    assert stats.faults == len(specs)
+    assert stats.lockstep + stats.evicted == len(specs)
+    assert stats.batches >= 1
+
+
+@pytest.mark.parametrize("name", ["matmul", "cg"])
+def test_batched_convergence_op_not_later_than_sequential(name):
+    """When both paths prove golden convergence, the batched proof point is
+    at or before the sequential checkpoint (never later), and both return
+    the golden outcome."""
+    workload = _small(name)
+    trace = workload.traced_run().trace
+    specs = _sample_specs(workload, trace, per_object=16)
+
+    sequential = ReplayContext(workload)
+    batched = BatchedReplayContext(workload)
+    results = batched.replay_many(specs)
+
+    compared = 0
+    for spec, result in zip(specs, results):
+        try:
+            sequential.replay(spec)
+        except Exception:
+            continue
+        # engine-level convergence telemetry of the sequential path
+        seq_converged_at = None
+        if sequential.detect_convergence:
+            # re-run to read the flag off a fresh engine (replay() hides it)
+            from repro.vm.engine import Engine
+
+            engine = Engine(
+                sequential.instance.module,
+                sequential.instance.memory,
+                fault=spec,
+                max_steps=workload.max_steps,
+            )
+            engine.resume(
+                sequential.snapshot_for(spec.dynamic_id),
+                golden_schedule=sequential.snapshots,
+            )
+            if engine.converged:
+                seq_converged_at = engine.converged_at
+        if seq_converged_at is not None and result.converged_at is not None:
+            assert result.converged_at <= seq_converged_at, spec
+            compared += 1
+    assert compared > 0, "sample should contain converging faults"
+
+
+def test_batched_outcomes_match_injector_classification():
+    """End to end through the injector: inject_many == per-spec inject."""
+    workload = _small("cg")
+    trace = workload.traced_run().trace
+    specs = _sample_specs(workload, trace, per_object=12, bit_stride=5)
+
+    sequential = DeterministicFaultInjector(workload, mode="rerun")
+    batched = DeterministicFaultInjector(workload)
+    batch_results = batched.inject_many(specs)
+    assert len(batch_results) == len(specs)
+    outcomes = set()
+    for spec, got in zip(specs, batch_results):
+        want = sequential.inject(spec)
+        assert got.outcome is want.outcome, spec
+        assert got.detail == want.detail, spec
+        outcomes.add(got.outcome)
+    assert len(outcomes) >= 2, "sample should exercise several outcome classes"
+
+
+# --------------------------------------------------------------------- #
+# scheduler mechanics
+# --------------------------------------------------------------------- #
+def test_plan_batches_groups_by_snapshot_interval():
+    workload = _small("matmul")
+    context = BatchedReplayContext(workload, checkpoint_interval=500)
+    trace = workload.traced_run().trace
+    specs = [
+        site.to_spec()
+        for site in enumerate_fault_sites(trace, "C", bit_stride=16)
+    ]
+    batches = context.plan_batches(specs)
+    assert sum(len(batch.specs) for batch in batches) == len(specs)
+    positions = [batch.snapshot_dyn for batch in batches]
+    assert positions == sorted(positions)
+    for batch in batches:
+        for spec in batch.specs:
+            assert context.snapshot_for(spec.dynamic_id).dyn == batch.snapshot_dyn
+
+
+def test_memo_answers_repeated_submissions():
+    """Divergent replays that record digests are answered by the memo when
+    the same states recur — and the answers stay bit-identical."""
+    workload = _small("matmul")
+    context = BatchedReplayContext(workload)
+    trace = workload.traced_run().trace
+    specs = [
+        site.to_spec()
+        for site in enumerate_fault_sites(trace, "C", bit_stride=13)
+    ][:40]
+    first = context.replay_many(specs)
+    second = context.replay_many(specs)
+    for a, b in zip(first, second):
+        assert (a.error is None) == (b.error is None)
+        if a.outcome is not None:
+            assert a.outcome.return_value == b.outcome.return_value
+            assert a.outcome.steps == b.outcome.steps
+            for obj in a.outcome.outputs:
+                assert np.array_equal(a.outcome.outputs[obj], b.outcome.outputs[obj])
+    assert context.stats.batches == 2
+    assert context.stats.faults == 2 * len(specs)
+
+
+def test_duplicate_specs_in_one_batch():
+    """Sampling with replacement submits identical specs; each resolves
+    independently and identically."""
+    workload = _small("matmul")
+    trace = workload.traced_run().trace
+    site = enumerate_fault_sites(trace, "C", bit_stride=11)[3]
+    spec = site.to_spec()
+    context = BatchedReplayContext(workload)
+    results = context.replay_many([spec, spec, spec])
+    reference = ReplayContext(workload).replay(spec)
+    for result in results:
+        assert result.error is None
+        assert result.outcome.return_value == reference.return_value
+        for obj in reference.outputs:
+            assert np.array_equal(result.outcome.outputs[obj], reference.outputs[obj])
+
+
+def test_detect_convergence_off_still_bit_identical():
+    workload = _small("matmul")
+    trace = workload.traced_run().trace
+    specs = [
+        site.to_spec()
+        for site in enumerate_fault_sites(trace, "C", bit_stride=17)
+    ][:20]
+    sequential = ReplayContext(workload, detect_convergence=False)
+    batched = BatchedReplayContext(workload, detect_convergence=False)
+    results = batched.replay_many(specs)
+    assert batched.stats.memo_hits == 0
+    for spec, result in zip(specs, results):
+        reference = sequential.replay(spec)
+        assert result.outcome.steps == reference.steps
+        for obj in reference.outputs:
+            assert np.array_equal(
+                result.outcome.outputs[obj].view(np.uint8),
+                reference.outputs[obj].view(np.uint8),
+            )
+
+
+def test_empty_submission():
+    workload = _small("matmul")
+    context = BatchedReplayContext(workload)
+    assert context.replay_many([]) == []
+    assert context.stats.batches == 0
