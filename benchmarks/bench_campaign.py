@@ -51,6 +51,7 @@ TESTS = max(8, int(os.environ.get("REPRO_BENCH_CAMPAIGN_TESTS", "128")))
 SHARD_SIZE = max(4, int(os.environ.get("REPRO_BENCH_SHARD_SIZE", "32")))
 #: Target CI half-width of the adaptive-vs-fixed comparison.
 HALF_WIDTH = float(os.environ.get("REPRO_BENCH_HALF_WIDTH", "0.12"))
+OUTPUT = os.environ.get("REPRO_BENCH_CAMPAIGN_JSON", "BENCH_campaign.json")
 
 
 def _store(tmpdir: str, name: str) -> CampaignStore:
@@ -171,7 +172,11 @@ def test_bench_campaign_adaptive_vs_fixed(once, benchmark):
 def main() -> None:
     throughput = measure_shard_throughput_and_resume()
     adaptive = measure_adaptive_vs_fixed()
-    print(json.dumps({"throughput": throughput, "adaptive": adaptive}, indent=2))
+    results = {"throughput": throughput, "adaptive": adaptive}
+    print(json.dumps(results, indent=2))
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"wrote {OUTPUT}", file=sys.stderr)
     assert throughput["resume_overhead_s"] < throughput["campaign_s"], (
         "resume overhead exceeded the full campaign cost"
     )

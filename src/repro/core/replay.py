@@ -38,6 +38,32 @@ from repro.vm.faults import FaultSpec
 if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
     from repro.workloads.base import RunOutcome, Workload
 
+#: Golden dynamic-instruction counts observed per workload configuration.
+#: ``fresh_instance`` is deterministic, so one measurement fixes the length
+#: for the whole process and later contexts can size their snapshot
+#: schedule from it instead of the generic fine-interval-plus-thinning
+#: bootstrap.
+_GOLDEN_STEPS_MEMO: Dict[tuple, int] = {}
+
+
+def _workload_memo_key(workload: "Workload") -> Optional[tuple]:
+    """A hashable identity for a workload *configuration*.
+
+    Two workloads of the same class with the same scalar attributes (seed,
+    problem sizes, ...) produce bit-identical golden runs; anything with
+    non-scalar state is conservatively treated as unmemoisable.
+    """
+    cls = type(workload)
+    scalars = []
+    for name, value in sorted(vars(workload).items()):
+        if name.startswith("_"):
+            continue
+        if value is None or isinstance(value, (bool, int, float, str)):
+            scalars.append((name, value))
+        else:
+            return None
+    return (cls.__module__, cls.__qualname__, tuple(scalars))
+
 
 class ReplayContext:
     """Golden run + snapshot schedule of one workload, shared by many
@@ -49,11 +75,17 @@ class ReplayContext:
         The workload to prepare.  Its ``fresh_instance`` must be
         deterministic (the base-class contract).
     checkpoint_interval:
-        Snapshot spacing in dynamic instructions.  Default: a single golden
-        run starts at a fine interval and lets the engine's
-        ``snapshot_budget`` thin the schedule by doubling, landing between
-        ``target_checkpoints`` and twice that many snapshots without a
-        separate step-counting probe run.
+        Snapshot spacing in dynamic instructions.  Default: derived from
+        the workload's golden program length.  The first context built for
+        a given workload configuration in a process starts at a fine
+        interval and lets the engine's ``snapshot_budget`` thin the
+        schedule by doubling, landing between ``target_checkpoints`` and
+        twice that many snapshots without a separate step-counting probe
+        run; its measured step count is memoised, so every later context
+        for the same configuration starts directly at
+        ``golden_steps // target_checkpoints`` — short kernels stop
+        over-snapshotting (and paying capture/thinning churn), long ones
+        stop under-snapshotting.
     target_checkpoints:
         Number of snapshots to aim for when the interval is derived.
     detect_convergence:
@@ -84,6 +116,7 @@ class ReplayContext:
         self.detect_convergence = detect_convergence
 
         self.instance = workload.fresh_instance()
+        memo_key = None
         if checkpoint_interval is not None:
             engine = Engine(
                 self.instance.module,
@@ -93,15 +126,25 @@ class ReplayContext:
                 max_steps=workload.max_steps,
             )
         else:
+            memo_key = _workload_memo_key(workload)
+            known_steps = (
+                _GOLDEN_STEPS_MEMO.get(memo_key) if memo_key is not None else None
+            )
+            if known_steps is not None:
+                interval = max(1, known_steps // max(1, target_checkpoints))
+            else:
+                interval = 64
             engine = Engine(
                 self.instance.module,
                 self.instance.memory,
                 sink=sink,
-                snapshot_interval=64,
+                snapshot_interval=interval,
                 snapshot_budget=2 * max(1, target_checkpoints),
                 max_steps=workload.max_steps,
             )
         result = engine.run(workload.entry, self.instance.args)
+        if memo_key is not None:
+            _GOLDEN_STEPS_MEMO[memo_key] = result.steps
         #: The golden dynamic trace, when a recording sink was supplied.
         self.golden_trace = sink
         self.checkpoint_interval = engine.snapshot_interval

@@ -1,0 +1,251 @@
+"""Lowering from :class:`~repro.vm.engine.DecodedProgram` into a block MIR.
+
+The decoded engine executes one ``DecodedOp`` per Python loop iteration; the
+dispatch overhead of that loop (operand resolution, fault-window checks,
+per-op sink calls) is the hard floor under every golden run.  This module
+lowers a decoded function into *extended basic blocks*: maximal loop-free
+straight-line segments of slot-typed instructions.  A segment starts at any
+executable pc, follows fall-through control flow, and — when an
+unconditional branch targets a block with exactly one predecessor and no
+phis — merges across the branch, so a chain ``body → tail → exit-check``
+becomes a single segment even though the frontend split it into blocks.
+
+Segments are a *partition* of the function's pc space: every pc belongs to
+exactly one segment at exactly one offset, and
+:meth:`MirFunction.location_of` / :meth:`MirFunction.pc_at` convert between
+the two addressings losslessly.  Fault-site addressing, checkpoint
+schedules, and trace dynamic ids all remain in op-index space; the MIR is
+pure execution strategy.
+
+Segments with at least two ops are *fused*: compiled (see
+:mod:`repro.mir.fuse`) into a superinstruction — an ``exec``-specialized
+Python callable that executes the whole segment without touching the op
+loop.  Single-op segments and the non-fusable ops (``ret``, user calls,
+``phi``) stay with the op loop, which doubles as the bit-identity oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.engine import (
+    DecodedFunction,
+    DecodedProgram,
+    K_ALLOCA,
+    K_BR,
+    K_BR_COND,
+    K_CALL_INTRINSIC,
+    K_CALL_USER,
+    K_FN,
+    K_GEP,
+    K_LOAD,
+    K_PHI,
+    K_RET,
+    K_STORE,
+)
+
+#: Kinds that may appear in the interior of a fused segment.
+FUSABLE_BODY = frozenset((K_FN, K_LOAD, K_STORE, K_GEP, K_ALLOCA, K_CALL_INTRINSIC))
+
+#: Kinds that end a segment *before* themselves (executed by the op loop).
+SEGMENT_BARRIERS = frozenset((K_RET, K_CALL_USER, K_PHI))
+
+
+class MirSegment:
+    """One straight-line segment: a run of pcs executed as a unit.
+
+    ``pcs`` lists the op-index of every op in execution order (contiguous
+    within a block; EBB merges jump to the start of the merged block).
+    ``plain`` / ``traced`` are the compiled superinstruction variants
+    (``None`` for unfused segments); the traced variant is compiled lazily
+    because most runs never trace.
+    """
+
+    __slots__ = (
+        "index",
+        "start_pc",
+        "pcs",
+        "n_ops",
+        "fused",
+        "plain",
+        "traced",
+        "counts",
+        "opcode_values",
+        "_df",
+        "_static",
+    )
+
+    def __init__(self, index: int, pcs: Tuple[int, ...], fused: bool, df: DecodedFunction):
+        self.index = index
+        self.start_pc = pcs[0]
+        self.pcs = pcs
+        self.n_ops = len(pcs)
+        self.fused = fused
+        self.plain = None
+        self.traced = None
+        self._df = df
+        self._static = None
+        ops = df.ops
+        self.opcode_values: Tuple[str, ...] = tuple(ops[pc].opcode.value for pc in pcs)
+        counts: Dict[str, int] = {}
+        for key in self.opcode_values:
+            counts[key] = counts.get(key, 0) + 1
+        self.counts = counts
+
+    def counts_prefix(self, k: int) -> Dict[str, int]:
+        """Opcode counts of the first ``k`` ops (partial-crash accounting)."""
+        counts: Dict[str, int] = {}
+        for key in self.opcode_values[:k]:
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def compile_traced(self):
+        """Compile (and cache) the trace-emitting superinstruction variant."""
+        from repro.mir.fuse import compile_segment
+
+        fn = compile_segment(self._df, self, traced=True)
+        self.traced = fn
+        return fn
+
+    def block_static(self):
+        """Per-segment static trace columns (see ``ColumnarTrace.append_block``)."""
+        if self._static is None:
+            from repro.mir.fuse import build_block_static
+
+            self._static = build_block_static(self._df, self)
+        return self._static
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "fused" if self.fused else "plain-loop"
+        return f"<MirSegment #{self.index} pcs={self.pcs[0]}..{self.pcs[-1]} n={self.n_ops} {tag}>"
+
+
+class MirFunction:
+    """All segments of one decoded function plus the two addressings."""
+
+    __slots__ = ("name", "df", "segments", "dispatch", "_loc")
+
+    def __init__(self, df: DecodedFunction, segments: List[MirSegment]):
+        self.name = df.name
+        self.df = df
+        self.segments = segments
+        n = len(df.ops)
+        # op-index -> (segment, offset); total over all pcs by construction.
+        loc: List[Optional[Tuple[int, int]]] = [None] * n
+        for seg in segments:
+            for offset, pc in enumerate(seg.pcs):
+                loc[pc] = (seg.index, offset)
+        self._loc = loc
+        # Fast-path dispatch table: a fused segment at its *entry* pc, None
+        # everywhere else.  Resuming mid-segment (checkpoints land anywhere)
+        # simply misses the table and runs the op loop until the next entry.
+        dispatch: List[Optional[MirSegment]] = [None] * n
+        for seg in segments:
+            if seg.fused:
+                dispatch[seg.start_pc] = seg
+        self.dispatch = dispatch
+
+    def location_of(self, pc: int) -> Tuple[int, int]:
+        """Map an op index to its ``(segment_index, offset)``."""
+        return self._loc[pc]
+
+    def pc_at(self, segment_index: int, offset: int) -> int:
+        """Map ``(segment_index, offset)`` back to the op index."""
+        return self.segments[segment_index].pcs[offset]
+
+
+class MirProgram:
+    """Lowered form of a whole decoded program."""
+
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: Dict[str, MirFunction]):
+        self.functions = functions
+
+
+def _block_meta(df: DecodedFunction) -> Tuple[List[int], List[int]]:
+    """Per-block start pcs and predecessor counts (entry gets an implicit one)."""
+    nblocks = len(df.block_labels)
+    block_start = [-1] * nblocks
+    preds = [0] * nblocks
+    if nblocks:
+        preds[0] += 1  # function entry edge
+    for pc, op in enumerate(df.ops):
+        bi = op.block_index
+        if block_start[bi] < 0:
+            block_start[bi] = pc
+        kind = op.kind
+        if kind == K_BR:
+            preds[op.block_true] += 1
+        elif kind == K_BR_COND:
+            preds[op.block_true] += 1
+            preds[op.block_false] += 1
+    return block_start, preds
+
+
+def lower_function(df: DecodedFunction) -> MirFunction:
+    """Partition ``df`` into segments and compile the fused ones."""
+    from repro.mir.fuse import compile_segment
+
+    ops = df.ops
+    n = len(ops)
+    block_start, preds = _block_meta(df)
+    covered = [False] * n
+    segments: List[MirSegment] = []
+
+    for pc0 in range(n):
+        if covered[pc0]:
+            continue
+        if ops[pc0].kind in SEGMENT_BARRIERS:
+            covered[pc0] = True
+            segments.append(MirSegment(len(segments), (pc0,), False, df))
+            continue
+
+        pcs: List[int] = []
+        visited_blocks = {ops[pc0].block_index}
+        pc = pc0
+        while True:
+            op = ops[pc]
+            kind = op.kind
+            if kind in FUSABLE_BODY:
+                pcs.append(pc)
+                pc += 1
+                continue
+            if kind == K_BR_COND:
+                pcs.append(pc)
+                break
+            if kind == K_BR:
+                target = op.block_true
+                target_pc = block_start[target]
+                if (
+                    preds[target] == 1
+                    and target not in visited_blocks
+                    and not covered[target_pc]
+                    and ops[target_pc].kind != K_PHI
+                ):
+                    # EBB merge: the branch is the sole way into ``target``
+                    # and the merge stays loop-free, so fall through it.
+                    pcs.append(pc)
+                    visited_blocks.add(target)
+                    pc = target_pc
+                    continue
+                pcs.append(pc)
+                break
+            # ret / user call / phi: segment ends just before it and the op
+            # loop picks up at this pc (the codegen's static exit).
+            break
+
+        for covered_pc in pcs:
+            covered[covered_pc] = True
+        fused = len(pcs) >= 2
+        seg = MirSegment(len(segments), tuple(pcs), fused, df)
+        if fused:
+            seg.plain = compile_segment(df, seg, traced=False)
+        segments.append(seg)
+
+    return MirFunction(df, segments)
+
+
+def lower_program(decoded: DecodedProgram) -> MirProgram:
+    """Lower every function of a decoded program."""
+    return MirProgram({name: lower_function(df) for name, df in decoded.functions.items()})

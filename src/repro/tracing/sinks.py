@@ -71,6 +71,18 @@ class CountingSink:
         key = opcode.value
         self.by_opcode[key] = self.by_opcode.get(key, 0) + 1
 
+    def tick_block(self, counts: Dict[str, int], total: int) -> None:
+        """Bulk-aggregate a whole superinstruction in O(distinct opcodes).
+
+        The MIR fast path pre-computes per-segment opcode tallies at
+        lowering time, so counting-sink replays pay one call per executed
+        *segment* instead of one per dynamic instruction.
+        """
+        self.total += total
+        by_opcode = self.by_opcode
+        for key, count in counts.items():
+            by_opcode[key] = by_opcode.get(key, 0) + count
+
     def append(self, event: TraceEvent) -> None:
         # accept full events too, so the sink composes with any producer
         self.tick(event.opcode)

@@ -38,6 +38,7 @@ same :class:`~repro.tracing.events.TraceEvent` stream.
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -185,6 +186,10 @@ class DecodedProgram:
         """Drop the decode cache (call after mutating the module's IR)."""
         if hasattr(module, cls._CACHE_ATTR):
             delattr(module, cls._CACHE_ATTR)
+        # the lowered MIR is derived from the decode; keep them in sync
+        from repro.mir.cache import invalidate as _invalidate_mir
+
+        _invalidate_mir(module)
 
 
 def _decode_function(func: Function) -> DecodedFunction:
@@ -659,6 +664,7 @@ class Engine:
         snapshot_interval: int = 0,
         snapshot_budget: Optional[int] = None,
         program: Optional[DecodedProgram] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.module = module
         self.memory = memory
@@ -667,6 +673,23 @@ class Engine:
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
         self.program = program if program is not None else DecodedProgram.of(module)
+        # Execution backend: "block" (default) dispatches fused MIR
+        # superinstructions where legal and falls back to the op loop;
+        # "op" forces the plain per-op loop (the bit-identity oracle).
+        # ``REPRO_ENGINE_BACKEND`` overrides the default process-wide.
+        if backend is None:
+            backend = os.environ.get("REPRO_ENGINE_BACKEND") or "block"
+        if backend not in ("block", "op"):
+            raise ValueError(
+                f"unknown engine backend {backend!r} (expected 'block' or 'op')"
+            )
+        self.backend = backend
+        if backend == "block":
+            from repro.mir import mir_program_for  # deferred: mir builds on us
+
+            self._mir = mir_program_for(self.program)
+        else:
+            self._mir = None
         self.snapshot_interval = snapshot_interval
         self.snapshot_budget = snapshot_budget
         self.snapshots: List[Snapshot] = []
@@ -922,6 +945,7 @@ class Engine:
             max_steps=self.max_steps,
             max_call_depth=self.max_call_depth,
             program=self.program,
+            backend=self.backend,
         )
         engine.adopt_fork(fork)
         for frame_index, slot, value in reg_patches:
@@ -1678,6 +1702,24 @@ class Engine:
         next_pause = self._next_pause()
         return_value: Optional[Number] = None
 
+        # MIR fast path: dispatch whole fused segments when the sink (if
+        # any) supports bulk emission.  fast_mode: 0 off, 1 sink-free,
+        # 2 counting (tick_block), 3 traced (append_block).
+        mir = self._mir
+        fast_mode = 0
+        if mir is not None:
+            if sink is None:
+                fast_mode = 1
+            elif tracing:
+                if getattr(sink, "append_block", None) is not None:
+                    fast_mode = 3
+            elif getattr(sink, "tick_block", None) is not None:
+                fast_mode = 2
+        mir_fns = mir.functions if fast_mode else None
+        dispatch = mir_fns[frame.df.name].dispatch if fast_mode else None
+        sink_tick_block = sink.tick_block if fast_mode == 2 else None
+        cell = [0]
+
         try:
             while True:
                 if dyn >= max_steps:
@@ -1690,6 +1732,41 @@ class Engine:
                             return_value=None, steps=dyn, trace=sink
                         )
                     next_pause = self._next_pause()
+
+                if fast_mode:
+                    seg = dispatch[pc]
+                    if seg is not None:
+                        end = dyn + seg.n_ops
+                        # dispatch only when the whole segment fits before
+                        # the next pause / step limit and no fault is armed
+                        # inside its dynamic window
+                        if (
+                            end <= next_pause
+                            and end <= max_steps
+                            and (fault_dyn < dyn or fault_dyn >= end)
+                        ):
+                            try:
+                                if fast_mode == 3:
+                                    fn = seg.traced or seg.compile_traced()
+                                    pc = fn(
+                                        frame, regs, prods, memory, sink,
+                                        last_writer, dyn, cell,
+                                    )
+                                else:
+                                    pc = seg.plain(frame, regs, memory, cell)
+                                    if fast_mode == 2:
+                                        sink_tick_block(seg.counts, seg.n_ops)
+                            except BaseException:
+                                stepped = cell[0]
+                                cell[0] = 0
+                                dyn += stepped
+                                if fast_mode == 2 and stepped:
+                                    sink_tick_block(
+                                        seg.counts_prefix(stepped), stepped
+                                    )
+                                raise
+                            dyn = end
+                            continue
 
                 op = ops[pc]
                 kind = op.kind
@@ -1827,6 +1904,8 @@ class Engine:
                     ops = callee_df.ops
                     regs = frame.regs
                     prods = frame.prods
+                    if fast_mode:
+                        dispatch = mir_fns[callee_df.name].dispatch
                     pc = 0
                     continue
                 elif kind == K_ALLOCA:
@@ -1906,6 +1985,8 @@ class Engine:
                     ops = frame.df.ops
                     regs = frame.regs
                     prods = frame.prods
+                    if fast_mode:
+                        dispatch = mir_fns[frame.df.name].dispatch
                     pc = frame.pc
                     continue
 

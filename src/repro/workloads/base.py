@@ -66,6 +66,7 @@ class WorkloadInstance:
         fault: Optional[FaultSpec] = None,
         max_steps: Optional[int] = None,
         executor: str = "engine",
+        backend: Optional[str] = None,
     ) -> RunOutcome:
         """Execute the workload's entry kernel.
 
@@ -75,6 +76,9 @@ class WorkloadInstance:
         selects the pre-decoded :class:`~repro.vm.engine.Engine` (default)
         or the tree-walking ``"interpreter"`` — both produce bit-identical
         results; the interpreter is kept as the reference oracle.
+        ``backend`` picks the engine's dispatch strategy (``"block"`` /
+        ``"op"``, default ``REPRO_ENGINE_BACKEND``); the interpreter
+        ignores it.
 
         Raises the VM error types on crashes/hangs; callers performing fault
         injection catch them and classify the outcome.
@@ -86,6 +90,7 @@ class WorkloadInstance:
                 sink=trace,
                 fault=fault,
                 max_steps=max_steps or self.workload.max_steps,
+                backend=backend,
             )
         elif executor == "interpreter":
             runner = Interpreter(
