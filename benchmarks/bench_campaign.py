@@ -44,6 +44,7 @@ from repro.campaigns import (
     fixed_sample_size_for_half_width,
     wilson_half_width,
 )
+from repro.obs.log import provenance
 
 WORKLOAD = os.environ.get("REPRO_BENCH_WORKLOAD", "matmul")
 #: Injections in the fixed-count shard-throughput campaign.
@@ -172,7 +173,11 @@ def test_bench_campaign_adaptive_vs_fixed(once, benchmark):
 def main() -> None:
     throughput = measure_shard_throughput_and_resume()
     adaptive = measure_adaptive_vs_fixed()
-    results = {"throughput": throughput, "adaptive": adaptive}
+    results = {
+        "throughput": throughput,
+        "adaptive": adaptive,
+        "provenance": provenance(),
+    }
     print(json.dumps(results, indent=2))
     with open(OUTPUT, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2)

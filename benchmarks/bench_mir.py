@@ -36,6 +36,7 @@ except ModuleNotFoundError:  # standalone script run from a source checkout
 
 import numpy as np
 
+from repro.obs.log import provenance
 from repro.tracing.columnar import ColumnarTrace
 from repro.tracing.sinks import CountingSink
 from repro.vm.engine import Engine
@@ -174,6 +175,7 @@ def test_bench_mir(once, benchmark):
 
 def main() -> None:
     results = measure_all()
+    results["provenance"] = provenance()
     print(json.dumps(results, indent=2))
     with open(OUTPUT, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2)

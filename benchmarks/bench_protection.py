@@ -32,6 +32,7 @@ except ModuleNotFoundError:  # standalone script run from a source checkout
         0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
     )
 
+from repro.obs.log import provenance
 from repro.protection.advisor import ProtectionPlan, Selection
 from repro.protection.apply import apply_plan, measure_overhead
 from repro.protection.schemes import WorkloadCostInputs, applicable_schemes
@@ -148,7 +149,11 @@ def main() -> None:
     check(rows)
     print(json.dumps(rows, indent=2))
     with open(OUTPUT, "w", encoding="utf-8") as fh:
-        json.dump({"protection_overhead": rows}, fh, indent=2)
+        json.dump(
+            {"protection_overhead": rows, "provenance": provenance()},
+            fh,
+            indent=2,
+        )
     print(f"\nwrote {OUTPUT}")
 
 

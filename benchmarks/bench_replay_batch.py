@@ -39,6 +39,7 @@ except ModuleNotFoundError:  # standalone script run from a source checkout
 import numpy as np
 
 from repro.core.replay import BatchedReplayContext, ReplayContext
+from repro.obs.log import provenance
 from repro.core.sites import enumerate_fault_sites
 from repro.workloads.registry import get_workload
 
@@ -168,6 +169,7 @@ def test_bench_replay_batch(once, benchmark):
 
 def main() -> None:
     results = measure_all()
+    results["provenance"] = provenance()
     print(json.dumps(results, indent=2))
     with open(OUTPUT, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2)

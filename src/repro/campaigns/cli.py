@@ -7,6 +7,7 @@ Subcommands::
     repro campaign status [TARGET]                      progress + outcome tables
     repro campaign export TARGET [--out FILE]           JSONL dump of the store rows
     repro campaign report TARGET [options]              aDVF tables (from the store)
+    repro stats TARGET [--promfile FILE]                telemetry tables (from the store)
     repro protect plan|apply|validate|report ...        selective protection
     repro workloads                                     list registered workloads
 
@@ -36,10 +37,13 @@ from repro.campaigns.plans import parse_plan, plan_from_dict
 from repro.campaigns.store import CampaignStore, compute_campaign_id
 from repro.core.advf import AnalysisConfig
 from repro.core.patterns import SingleBitModel
+from repro.obs.log import get_logger
+from repro.obs.prom import render_promfile
 from repro.protection import cli as protect_cli
 from repro.reporting import (
     format_advf_report_table,
     format_campaign_list,
+    format_metrics_table,
     format_outcome_table,
     format_shard_table,
     format_table,
@@ -123,6 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument("--objects", default=None)
     status.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
     status.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    status.add_argument("--metrics", action="store_true",
+                        help="append the campaign's merged metrics table")
     common(status)
 
     export = csub.add_parser("export", help="dump a campaign as JSON lines")
@@ -139,6 +145,16 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--refresh", action="store_true",
                         help="recompute reports even if already stored")
     common(report, with_exec=True)
+
+    stats = sub.add_parser(
+        "stats",
+        help="campaign telemetry: shard timings, hit rates, merged metrics",
+    )
+    target_args(stats)
+    stats.add_argument("--promfile", default=None, metavar="FILE",
+                       help="also write the merged metrics as a Prometheus "
+                            "textfile (node-exporter collector format)")
+    common(stats)
 
     protect_cli.register(sub, common)
 
@@ -223,7 +239,6 @@ def _cmd_run(args) -> int:
             plan=plan,
             workers=args.workers,
             shard_size=args.shard_size,
-            progress=lambda line: print(line, file=sys.stderr),
         )
         result = orchestrator.run(max_shards=args.max_shards)
         _print_result(store, result)
@@ -237,7 +252,6 @@ def _cmd_resume(args) -> int:
             store,
             campaign_id,
             workers=args.workers,
-            progress=lambda line: print(line, file=sys.stderr),
         )
         result = orchestrator.run(max_shards=args.max_shards)
         _print_result(store, result)
@@ -281,29 +295,85 @@ def _cmd_status(args) -> int:
             print(f"  run {run_id}: executed {executed} shards, skipped {skipped}")
         if status.shards:
             print()
-            print(
-                format_shard_table(
-                    [
-                        {
-                            "shard": shard.shard_index,
-                            "object": shard.object_name,
-                            "batch": shard.batch,
-                            "run": shard.run_id,
-                            "specs": shard.spec_count,
-                            "inject_s": shard.duration_s,
-                            "analysis_s": shard.analysis_s,
-                            "rbatches": shard.batches,
-                            "memo_hits": shard.memo_hits,
-                            "memo_misses": shard.memo_misses,
-                        }
-                        for shard in status.shards
-                    ],
-                    limit=20,
-                )
-            )
+            print(format_shard_table(_shard_rows(status.shards), limit=20))
         if status.histograms:
             print()
             print(format_outcome_table(status.histograms))
+        if getattr(args, "metrics", False):
+            merged = store.campaign_metrics(campaign_id)
+            print()
+            if any(merged.values()):
+                print(format_metrics_table(merged))
+            else:
+                print("no run metrics recorded (REPRO_METRICS=0, or a "
+                      "pre-v5 campaign)")
+    return 0
+
+
+def _shard_rows(shards) -> List[Dict[str, object]]:
+    """Store shard records → the flat row dicts ``format_shard_table`` takes."""
+    return [
+        {
+            "shard": shard.shard_index,
+            "object": shard.object_name,
+            "batch": shard.batch,
+            "run": shard.run_id,
+            "specs": shard.spec_count,
+            "inject_s": shard.duration_s,
+            "analysis_s": shard.analysis_s,
+            "rbatches": shard.batches,
+            "memo_hits": shard.memo_hits,
+            "memo_misses": shard.memo_misses,
+        }
+        for shard in shards
+    ]
+
+
+def _counter_total(snapshot: Dict[str, object], name: str) -> int:
+    """Sum of one counter over every label combination in a snapshot."""
+    return int(sum(
+        entry["value"]
+        for entry in snapshot.get("counters", ())  # type: ignore[union-attr]
+        if entry["name"] == name
+    ))
+
+
+def _cmd_stats(args) -> int:
+    with _open_store(args) as store:
+        campaign_id = _resolve_campaign_id(store, args)
+        status = store.status(campaign_id)
+        record = status.record
+        merged = store.campaign_metrics(campaign_id)
+        print(f"campaign : {campaign_id} ({record.workload}, {record.status})")
+        print(f"repro    : {record.repro_version or '-'} "
+              f"(store schema v{store.schema_version})")
+        print(f"runs     : {len(store.run_metrics(campaign_id))} of "
+              f"{len(status.runs)} with metrics")
+        if status.shards:
+            print()
+            print(format_shard_table(_shard_rows(status.shards), limit=20))
+        print()
+        for label, hit_name, miss_name in (
+            ("trace cache", "trace_cache.hits", "trace_cache.misses"),
+            ("mir cache", "mir_cache.hits", "mir_cache.misses"),
+            ("replay memo", "replay.memo_hits", "replay.memo_misses"),
+        ):
+            hits = _counter_total(merged, hit_name)
+            misses = _counter_total(merged, miss_name)
+            probes = hits + misses
+            rate = f"{hits / probes:.2f}" if probes else "-"
+            print(f"{label:<11}: {hits} hits / {misses} misses "
+                  f"(hit rate {rate})")
+        print()
+        if any(merged.values()):
+            print(format_metrics_table(merged))
+        else:
+            print("no run metrics recorded (REPRO_METRICS=0, or a pre-v5 "
+                  "campaign)")
+        if args.promfile:
+            with open(args.promfile, "w", encoding="utf-8") as fh:
+                fh.write(render_promfile(merged))
+            print(f"wrote promfile to {args.promfile}", file=sys.stderr)
     return 0
 
 
@@ -326,7 +396,6 @@ def _cmd_report(args) -> int:
             store,
             campaign_id,
             workers=args.workers,
-            progress=lambda line: print(line, file=sys.stderr),
         )
         config = AnalysisConfig(
             max_injections=args.max_injections,
@@ -363,12 +432,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "workloads":
             return _cmd_workloads()
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "protect":
             return protect_cli.dispatch(
                 args,
                 open_store=_open_store,
                 parse_set=_parse_set,
-                say=lambda line: print(line, file=sys.stderr),
+                say=lambda line: get_logger("protect").info("progress", line),
             )
         action = {
             "run": _cmd_run,

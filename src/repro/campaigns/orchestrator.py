@@ -32,6 +32,9 @@ from repro.campaigns.stats import wilson_interval
 from repro.campaigns.store import CampaignStore
 from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.spans import span
 from repro.parallel.campaign import CampaignRunner, _default_workers
 from repro.parallel.partition import chunk_evenly
 from repro.tracing.cache import TraceCache, trace_digest
@@ -152,6 +155,9 @@ class CampaignOrchestrator:
         #: Seconds spent enumerating fault sites, per data object (the
         #: analysis-pass timing stamped onto the object's shards).
         self._pass_seconds: Dict[str, float] = {}
+        self._log = get_logger("campaign")
+        #: Registry cursor scoping each run's metrics delta for the store.
+        self._run_cursor = f"campaign-run:{self.campaign_id}"
 
     # ------------------------------------------------------------------ #
     # construction from persisted state
@@ -195,7 +201,8 @@ class CampaignOrchestrator:
         index = 0
         for object_name in self.plan.objects_for(workload):
             pass_start = time.perf_counter()
-            specs = self.plan.specs_for(trace, object_name)
+            with span("campaign.analysis", object=object_name):
+                specs = self.plan.specs_for(trace, object_name)
             self._pass_seconds[object_name] = time.perf_counter() - pass_start
             pieces = max(1, -(-len(specs) // self.shard_size))
             for batch, chunk in enumerate(chunk_evenly(specs, pieces)):
@@ -226,30 +233,37 @@ class CampaignOrchestrator:
         run_id = self.store.begin_run(self.campaign_id)
         self.store.set_status(self.campaign_id, "running")
         self.store.set_trace_digest(self.campaign_id, self.trace_digest)
-        workload = self._workload()
-        trace = self._acquire_trace(workload)
+        reg = _metrics_registry()
+        if reg.enabled:
+            # reset the run cursor so the persisted delta covers exactly
+            # this run's activity (worker-process deltas fold in as the
+            # runner merges them)
+            reg.snapshot_delta(self._run_cursor)
 
         counters = _RunCounters()
         status = "failed"
         try:
-            if isinstance(self.plan, AdaptivePlan):
-                finished = self._run_adaptive(
-                    trace, workload, run_id, max_shards, counters
-                )
-            else:
-                tasks = self.static_shards(trace)
-                done = self.store.completed_shards(self.campaign_id)
-                finished = True
-                for task in tasks:
-                    if task.index in done:
-                        counters.skipped += 1
-                        continue
-                    if max_shards is not None and counters.executed >= max_shards:
-                        finished = False
-                        break
-                    self._execute_shard(task, run_id)
-                    counters.executed += 1
-                    counters.injected += len(task.specs)
+            with span("campaign.run", campaign=self.campaign_id, run=run_id):
+                workload = self._workload()
+                trace = self._acquire_trace(workload)
+                if isinstance(self.plan, AdaptivePlan):
+                    finished = self._run_adaptive(
+                        trace, workload, run_id, max_shards, counters
+                    )
+                else:
+                    tasks = self.static_shards(trace)
+                    done = self.store.completed_shards(self.campaign_id)
+                    finished = True
+                    for task in tasks:
+                        if task.index in done:
+                            counters.skipped += 1
+                            continue
+                        if max_shards is not None and counters.executed >= max_shards:
+                            finished = False
+                            break
+                        self._execute_shard(task, run_id)
+                        counters.executed += 1
+                        counters.injected += len(task.specs)
             status = "complete" if finished else "interrupted"
         finally:
             # A worker crash mid-campaign must not leave the row claiming
@@ -260,6 +274,10 @@ class CampaignOrchestrator:
                 self.campaign_id, run_id, counters.executed, counters.skipped
             )
             self._close_runner()
+            if reg.enabled:
+                self.store.save_run_metrics(
+                    self.campaign_id, run_id, reg.snapshot_delta(self._run_cursor)
+                )
         return CampaignResult(
             campaign_id=self.campaign_id,
             run_id=run_id,
@@ -301,7 +319,8 @@ class CampaignOrchestrator:
         objects = plan.objects_for(workload)
         for object_index, object_name in enumerate(objects):
             pass_start = time.perf_counter()
-            sites = plan.site_pool(trace, object_name)
+            with span("campaign.analysis", object=object_name):
+                sites = plan.site_pool(trace, object_name)
             self._pass_seconds[object_name] = time.perf_counter() - pass_start
             successes = trials = 0
             for batch in range(plan.max_batches):
@@ -334,7 +353,13 @@ class CampaignOrchestrator:
             low, high = wilson_interval(successes, trials, plan.z)
             self._say(
                 f"[{self.campaign_id}] {object_name}: {successes}/{trials} masked, "
-                f"CI [{low:.3f}, {high:.3f}]"
+                f"CI [{low:.3f}, {high:.3f}]",
+                event="object.converged",
+                object=object_name,
+                successes=successes,
+                trials=trials,
+                ci_low=low,
+                ci_high=high,
             )
         return True
 
@@ -380,23 +405,32 @@ class CampaignOrchestrator:
         the first run is reused instead of re-tracing the workload.
         """
         start = time.perf_counter()
-        cache = TraceCache.from_env()
-        if cache is not None:
-            trace, hit = cache.get_or_build(
-                self.trace_digest,
-                lambda: workload.traced_run(columnar=True).trace,
-            )
-            source = "cache hit" if hit else "cache miss, built"
-        else:
-            trace = workload.traced_run(columnar=True).trace
-            source = "cache disabled, built"
+        with span("campaign.trace", campaign=self.campaign_id):
+            cache = TraceCache.from_env()
+            if cache is not None:
+                trace, hit = cache.get_or_build(
+                    self.trace_digest,
+                    lambda: workload.traced_run(columnar=True).trace,
+                )
+                source = "cache hit" if hit else "cache miss, built"
+            else:
+                trace = workload.traced_run(columnar=True).trace
+                source = "cache disabled, built"
         self._say(
             f"[{self.campaign_id}] golden trace {self.trace_digest}: {source} "
-            f"({len(trace)} events, {time.perf_counter() - start:.2f}s)"
+            f"({len(trace)} events, {time.perf_counter() - start:.2f}s)",
+            event="trace.acquired",
+            trace_digest=self.trace_digest,
+            source=source,
+            events=len(trace),
         )
         return trace
 
-    def _say(self, message: str) -> None:
+    def _say(self, message: str, event: str = "progress", **fields) -> None:
+        """One progress line: stderr via the structured logger (gated by
+        ``REPRO_LOG_LEVEL``), JSONL via ``REPRO_LOG``, plus any explicitly
+        supplied ``progress`` callback."""
+        self._log.info(event, message, campaign_id=self.campaign_id, **fields)
         if self.progress is not None:
             self.progress(message)
 
@@ -404,7 +438,10 @@ class CampaignOrchestrator:
         self, task: ShardTask, run_id: int
     ) -> List[FaultInjectionResult]:
         start = time.perf_counter()
-        results, batch_stats = self._execute_specs(list(task.specs))
+        with span(
+            "campaign.shard", shard=task.index, object=task.object_name
+        ):
+            results, batch_stats = self._execute_specs(list(task.specs))
         duration = time.perf_counter() - start
         self.store.record_shard(
             self.campaign_id,
@@ -422,7 +459,13 @@ class CampaignOrchestrator:
             f"[{self.campaign_id}] shard {task.index} ({task.object_name}, "
             f"batch {task.batch}): {len(results)} injections in {duration:.2f}s "
             f"({rate:.0f}/s, {batch_stats.get('batches', 0)} replay batches, "
-            f"{batch_stats.get('memo_hits', 0)} memo hits)"
+            f"{batch_stats.get('memo_hits', 0)} memo hits)",
+            event="shard.done",
+            shard=task.index,
+            object=task.object_name,
+            batch=task.batch,
+            injections=len(results),
+            duration_s=duration,
         )
         return results
 

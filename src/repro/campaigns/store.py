@@ -21,7 +21,8 @@ Design points:
 * **Schema versioning.**  The schema version is stamped into the file on
   creation and checked on open; older stores are migrated in place (v2
   only adds defaulted columns, v3 only adds the protection tables, v4
-  adds defaulted replay-batch columns), any other mismatch raises
+  adds defaulted replay-batch columns, v5 adds the ``run_metrics`` table
+  and a defaulted version column), any other mismatch raises
   :class:`StoreVersionError` instead of silently misreading rows.
 * **Protection rows (v3).**  The selective-protection subsystem
   (:mod:`repro.protection`) persists its advisor plans
@@ -34,6 +35,11 @@ Design points:
   ``validation_runs`` carry the ``campaign_id`` of the orchestrated
   campaign that measured them, linking closed-loop validations to their
   shard timings.
+* **Run metrics (v5).**  Every orchestrator run persists its merged
+  :mod:`repro.obs` metrics snapshot (``run_metrics``, one JSON blob per
+  run) and campaigns stamp the ``repro_version`` that created them, so
+  ``python -m repro stats`` renders engine/replay/cache telemetry from
+  the store alone and exports carry their provenance.
 """
 
 from __future__ import annotations
@@ -49,9 +55,11 @@ from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 from repro.core.acceptance import OutcomeClass
 from repro.core.advf import ObjectReport
 from repro.core.injector import FaultInjectionResult
+from repro.obs.metrics import merge_snapshots
+from repro.version import __version__ as _REPRO_VERSION
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -66,7 +74,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     shard_size      INTEGER NOT NULL,
     created_at      REAL NOT NULL,
     status          TEXT NOT NULL DEFAULT 'running',
-    trace_digest    TEXT NOT NULL DEFAULT ''
+    trace_digest    TEXT NOT NULL DEFAULT '',
+    repro_version   TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS runs (
     campaign_id TEXT NOT NULL,
@@ -122,6 +131,14 @@ CREATE TABLE IF NOT EXISTS protection_plans (
     plan            TEXT NOT NULL,
     status          TEXT NOT NULL DEFAULT 'planned',
     created_at      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS run_metrics (
+    campaign_id   TEXT NOT NULL,
+    run_id        INTEGER NOT NULL,
+    metrics       TEXT NOT NULL,
+    repro_version TEXT NOT NULL DEFAULT '',
+    recorded_at   REAL NOT NULL,
+    PRIMARY KEY (campaign_id, run_id)
 );
 CREATE TABLE IF NOT EXISTS validation_runs (
     plan_id     TEXT NOT NULL,
@@ -184,6 +201,9 @@ class CampaignRecord:
     #: Content address of the cached golden trace the campaign plans over
     #: (see :mod:`repro.tracing.cache`); empty until the first run records it.
     trace_digest: str = ""
+    #: ``repro.__version__`` that created the campaign (v5) — empty for
+    #: campaigns written by older builds.
+    repro_version: str = ""
 
 
 @dataclass(frozen=True)
@@ -323,6 +343,8 @@ class CampaignStore:
                 version = self._migrate_v2_to_v3()
             if version == 3:
                 version = self._migrate_v3_to_v4()
+            if version == 4:
+                version = self._migrate_v4_to_v5()
             if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
@@ -389,6 +411,25 @@ class CampaignStore:
         )
         return 4
 
+    def _migrate_v4_to_v5(self) -> int:
+        """v4 → v5: the (empty) ``run_metrics`` table comes from the schema
+        script; the only row change is the defaulted ``repro_version``
+        column on campaigns — pre-v5 campaigns read back with an empty
+        version stamp and stay fully usable."""
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(campaigns)")
+        }
+        if "repro_version" not in columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN "
+                "repro_version TEXT NOT NULL DEFAULT ''"
+            )
+        self._conn.execute(
+            "UPDATE meta SET value = '5' WHERE key = 'schema_version'"
+        )
+        return 5
+
     @property
     def schema_version(self) -> int:
         row = self._conn.execute(
@@ -421,7 +462,8 @@ class CampaignStore:
             self._conn.execute(
                 "INSERT OR IGNORE INTO campaigns "
                 "(campaign_id, workload, workload_kwargs, plan, shard_size, "
-                " created_at, status) VALUES (?, ?, ?, ?, ?, ?, 'running')",
+                " created_at, status, repro_version) "
+                "VALUES (?, ?, ?, ?, ?, ?, 'running', ?)",
                 (
                     campaign_id,
                     workload,
@@ -429,6 +471,7 @@ class CampaignStore:
                     _canonical_json(plan),
                     shard_size,
                     time.time(),
+                    _REPRO_VERSION,
                 ),
             )
         return campaign_id
@@ -436,7 +479,7 @@ class CampaignStore:
     def campaign(self, campaign_id: str) -> CampaignRecord:
         row = self._conn.execute(
             "SELECT campaign_id, workload, workload_kwargs, plan, shard_size, "
-            "created_at, status, trace_digest FROM campaigns "
+            "created_at, status, trace_digest, repro_version FROM campaigns "
             "WHERE campaign_id = ?",
             (campaign_id,),
         ).fetchone()
@@ -451,6 +494,7 @@ class CampaignStore:
             created_at=row[5],
             status=row[6],
             trace_digest=row[7],
+            repro_version=row[8],
         )
 
     def has_campaign(self, campaign_id: str) -> bool:
@@ -524,6 +568,53 @@ class CampaignStore:
                 (campaign_id,),
             )
         ]
+
+    # ------------------------------------------------------------------ #
+    # run metrics (schema v5)
+    # ------------------------------------------------------------------ #
+    def save_run_metrics(
+        self, campaign_id: str, run_id: int, metrics: Dict[str, object]
+    ) -> None:
+        """Persist one run's merged :mod:`repro.obs` metrics snapshot.
+
+        ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`
+        payload — the orchestrator's registry delta for the run, with every
+        worker-process delta already folded in.  Latest write wins, so a
+        re-recorded run replaces (never double-counts) its snapshot.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO run_metrics "
+                "(campaign_id, run_id, metrics, repro_version, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    run_id,
+                    _canonical_json(metrics),
+                    _REPRO_VERSION,
+                    time.time(),
+                ),
+            )
+
+    def run_metrics(self, campaign_id: str) -> Dict[int, Dict[str, object]]:
+        """Per-run metrics snapshots, keyed by run id (ascending)."""
+        return {
+            int(row[0]): json.loads(row[1])
+            for row in self._conn.execute(
+                "SELECT run_id, metrics FROM run_metrics "
+                "WHERE campaign_id = ? ORDER BY run_id",
+                (campaign_id,),
+            )
+        }
+
+    def campaign_metrics(self, campaign_id: str) -> Dict[str, object]:
+        """Every run's metrics folded into one campaign-level snapshot.
+
+        Uses the registry's merge semantics (counters add, gauges max,
+        histogram buckets add), so the result equals what one process
+        observing the whole campaign would have recorded.
+        """
+        return merge_snapshots(*self.run_metrics(campaign_id).values())
 
     # ------------------------------------------------------------------ #
     # shards + outcomes (the append-only core)
@@ -877,6 +968,7 @@ class CampaignStore:
                 "status": record.status,
                 "trace_digest": record.trace_digest,
                 "schema_version": self.schema_version,
+                "repro_version": record.repro_version or _REPRO_VERSION,
             }
         )
         for shard in self.completed_shards(campaign_id).values():
@@ -903,4 +995,6 @@ class CampaignStore:
             emit(payload)
         for object_name, report in self.reports(campaign_id).items():
             emit({"type": "report", "object": object_name, "report": report.to_dict()})
+        for run_id, metrics in self.run_metrics(campaign_id).items():
+            emit({"type": "run_metrics", "run_id": run_id, "metrics": metrics})
         return lines

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import registry as _metrics_registry
 from repro.vm.engine import Engine, Snapshot, snapshot_digest
 from repro.vm.faults import FaultSpec
 
@@ -160,6 +161,13 @@ class ReplayContext:
         self.converged_replays = 0
         #: Total replays served.
         self.replays = 0
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("replay.contexts", workload=workload.name)
+            reg.observe(
+                "replay.golden_steps", float(result.steps),
+                workload=workload.name,
+            )
 
     # ------------------------------------------------------------------ #
     def golden_outcome(self) -> "RunOutcome":
@@ -202,6 +210,11 @@ class ReplayContext:
             snapshot,
             golden_schedule=self.snapshots if self.detect_convergence else None,
         )
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("replay.sequential", workload=self.workload.name)
+            if engine.converged:
+                reg.inc("replay.converged", workload=self.workload.name)
         if engine.converged:
             self.converged_replays += 1
             return self.golden_outcome()
@@ -421,6 +434,7 @@ class BatchedReplayContext(ReplayContext):
         order = sorted(range(len(specs)), key=lambda i: (specs[i].dynamic_id, i))
         ordered = [specs[i] for i in order]
         stats = self.stats
+        stats_before = stats.to_dict()
         stats.batches += 1
         stats.groups += len(self.plan_batches(ordered, presorted=True))
         stats.faults += len(specs)
@@ -437,6 +451,16 @@ class BatchedReplayContext(ReplayContext):
         results: List[Optional[BatchReplayResult]] = [None] * len(specs)
         for position, resolution in zip(order, resolutions):
             results[position] = self._finish(resolution)
+        reg = _metrics_registry()
+        if reg.enabled:
+            # mirror this call's ReplayBatchStats delta into the registry,
+            # keeping the per-context dataclass as the canonical struct
+            for key, value in stats.to_dict().items():
+                delta = value - stats_before[key]
+                if delta:
+                    reg.inc(
+                        "replay." + key, delta, workload=self.workload.name
+                    )
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #

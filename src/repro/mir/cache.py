@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 from repro.ir.printer import module_digest
 from repro.mir.lower import MirFunction, MirProgram, MirSegment, lower_program
+from repro.obs.metrics import registry as _metrics_registry
 from repro.vm.engine import DecodedProgram
 
 _CACHE_ATTR = "_mir_program_cache"
@@ -60,14 +61,21 @@ def mir_program_for(decoded: DecodedProgram) -> MirProgram:
         return cached
     digest = module_digest(module)
     template = _MIR_CACHE.get(digest)
+    reg = _metrics_registry()
     if template is None:
+        if reg.enabled:
+            reg.inc("mir_cache.misses")
         program = lower_program(decoded)
         _MIR_CACHE[digest] = program
     else:
         program = _clone_for(template, decoded)
         if program is None:
+            if reg.enabled:
+                reg.inc("mir_cache.misses")
             program = lower_program(decoded)
             _MIR_CACHE[digest] = program
+        elif reg.enabled:
+            reg.inc("mir_cache.hits")
     setattr(module, _CACHE_ATTR, program)
     return program
 

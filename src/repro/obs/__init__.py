@@ -1,0 +1,78 @@
+"""Unified telemetry: metrics registry, span tracing, structured logging.
+
+One instrumentation protocol for every layer of the stack — the engine's
+dispatch loop, the batched replay scheduler, the MIR and trace caches,
+campaign workers, the orchestrator, the store and the CLI — replacing the
+ad-hoc per-subsystem counters and bare progress prints that preceded it.
+
+Quick tour::
+
+    from repro.obs import registry, span, get_logger
+
+    registry().inc("engine.segment_dispatches", 3, backend="block")
+    with span("replay.batch", shard=7):
+        ...                                  # timed, nestable, exported
+    get_logger("campaign").info("shard.done", "shard 7 finished", shard=7)
+
+Environment knobs:
+
+``REPRO_METRICS``
+    ``0`` / ``off`` replaces the registry with a no-op implementation;
+    the engine's instrumentation then costs nothing measurable.
+``REPRO_LOG``
+    Path of a JSONL event log receiving every structured log/span event,
+    stamped with a provenance header (repro + store schema versions).
+``REPRO_LOG_LEVEL``
+    Human stderr verbosity: ``debug`` | ``info`` (default) | ``warning``
+    | ``error`` | ``quiet``.
+
+Worker processes record into their own process-local registry and ship
+``registry().snapshot_delta(cursor)`` payloads to the parent, which folds
+them with ``registry().merge(delta)`` — the fold is associative and
+deterministic, so parallel campaigns aggregate exactly.
+"""
+
+from repro.obs.log import (
+    LEVELS,
+    StructuredLogger,
+    emit_event,
+    get_logger,
+    log_level,
+    provenance,
+)
+from repro.obs.metrics import (
+    TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    configure,
+    diff_snapshots,
+    merge_snapshots,
+    metrics_enabled,
+    registry,
+)
+from repro.obs.prom import render_promfile, write_promfile
+from repro.obs.spans import Span, current_span, span
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "emit_event",
+    "get_logger",
+    "log_level",
+    "provenance",
+    "TIME_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "configure",
+    "diff_snapshots",
+    "merge_snapshots",
+    "metrics_enabled",
+    "registry",
+    "render_promfile",
+    "write_promfile",
+    "Span",
+    "current_span",
+    "span",
+]

@@ -1,0 +1,168 @@
+"""Structured logging: human lines on stderr, JSONL events on ``REPRO_LOG``.
+
+The orchestrator's progress lines (and any other component's) flow through
+one logger so verbosity is controlled in one place:
+
+* ``REPRO_LOG_LEVEL`` (``debug`` | ``info`` | ``warning`` | ``error`` |
+  ``quiet``; default ``info``) gates the human-readable stderr lines —
+  quiet runs and tests stop interleaving progress prints with results;
+* ``REPRO_LOG`` names a JSONL file that receives *every* event as one
+  structured line regardless of level, stamped with a per-process
+  provenance header (repro version + store schema version) so exported
+  event logs can be diffed across releases.
+
+Events are flat JSON objects: ``{"type": "log" | "span" | "meta", "ts":
+wall-clock seconds, ...}``.  Span events come from
+:mod:`repro.obs.spans`; both share the file handle (append mode, one
+line per event, lock-serialised within the process — concurrent worker
+processes append whole lines, which POSIX keeps intact for the short
+lines written here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, IO, Optional
+
+#: Human-facing level thresholds (a superset of logging's, plus "quiet").
+LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "warn": 30,
+    "error": 40,
+    "quiet": 100,
+    "off": 100,
+}
+
+_lock = threading.Lock()
+_level: Optional[int] = None
+_jsonl: Optional[IO[str]] = None
+_jsonl_path: Optional[str] = None
+_header_written = False
+
+
+def provenance() -> Dict[str, object]:
+    """Version stamp shared by JSONL logs, store exports and bench files."""
+    from repro.campaigns.store import SCHEMA_VERSION
+    from repro.version import __version__
+
+    return {
+        "repro_version": __version__,
+        "store_schema_version": SCHEMA_VERSION,
+    }
+
+
+def log_level() -> int:
+    """The active stderr threshold (reads ``REPRO_LOG_LEVEL`` once)."""
+    global _level
+    if _level is None:
+        raw = (os.environ.get("REPRO_LOG_LEVEL") or "info").strip().lower()
+        try:
+            _level = LEVELS.get(raw, None) or int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_LOG_LEVEL must be one of {sorted(set(LEVELS))} or an "
+                f"integer, got {raw!r}"
+            ) from None
+    return _level
+
+
+def _jsonl_handle() -> Optional[IO[str]]:
+    """The ``REPRO_LOG`` append handle (opened lazily, header first)."""
+    global _jsonl, _jsonl_path, _header_written
+    path = os.environ.get("REPRO_LOG")
+    if not path:
+        return None
+    if _jsonl is None or _jsonl_path != path:
+        if _jsonl is not None:
+            _jsonl.close()
+        _jsonl = open(path, "a", encoding="utf-8")
+        _jsonl_path = path
+        _header_written = False
+    if not _header_written:
+        _header_written = True
+        header = {"type": "meta", "ts": time.time(), "pid": os.getpid()}
+        header.update(provenance())
+        _jsonl.write(json.dumps(header, sort_keys=True) + "\n")
+        _jsonl.flush()
+    return _jsonl
+
+
+def emit_event(payload: Dict[str, object]) -> None:
+    """Append one structured event line to ``REPRO_LOG`` (no-op unset)."""
+    with _lock:
+        fh = _jsonl_handle()
+        if fh is None:
+            return
+        record = {"ts": time.time()}
+        record.update(payload)
+        fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+        fh.flush()
+
+
+def reset() -> None:
+    """Re-read the environment and drop cached handles (test hook)."""
+    global _level, _jsonl, _jsonl_path, _header_written
+    with _lock:
+        _level = None
+        if _jsonl is not None:
+            _jsonl.close()
+        _jsonl = None
+        _jsonl_path = None
+        _header_written = False
+
+
+class StructuredLogger:
+    """One component's logging facade.
+
+    ``component`` names the subsystem (``"campaign"``, ``"protect"``) in
+    every structured event; the human stderr line is the bare message, so
+    existing progress formats — and the greps in CI — are unchanged.
+    """
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def log(self, level: str, event: str, message: str = "",
+            **fields: object) -> None:
+        severity = LEVELS.get(level, 20)
+        if severity >= log_level():
+            print(message or event, file=sys.stderr)
+        payload: Dict[str, object] = {
+            "type": "log",
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        if message:
+            payload["message"] = message
+        payload.update(fields)
+        emit_event(payload)
+
+    def debug(self, event: str, message: str = "", **fields: object) -> None:
+        self.log("debug", event, message, **fields)
+
+    def info(self, event: str, message: str = "", **fields: object) -> None:
+        self.log("info", event, message, **fields)
+
+    def warning(self, event: str, message: str = "", **fields: object) -> None:
+        self.log("warning", event, message, **fields)
+
+    def error(self, event: str, message: str = "", **fields: object) -> None:
+        self.log("error", event, message, **fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """The (cached) logger of one component."""
+    logger = _LOGGERS.get(component)
+    if logger is None:
+        logger = _LOGGERS[component] = StructuredLogger(component)
+    return logger

@@ -1,0 +1,96 @@
+"""Prometheus textfile rendering of metric snapshots.
+
+``render_promfile`` turns a :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`
+snapshot (live or store-persisted) into the node-exporter *textfile
+collector* format — the seed of the future campaign fabric's scrape
+surface: ``python -m repro stats CAMPAIGN --promfile FILE`` drops the
+campaign's merged metrics where a node exporter (or plain ``curl`` +
+``promtool``) can pick them up.
+
+Names are prefixed ``repro_`` with dots mapped to underscores; histograms
+render the conventional ``_bucket``/``_sum``/``_count`` triplet with
+cumulative ``le`` buckets.  Output ordering is deterministic (sorted by
+series), so repeated exports of the same snapshot are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, IO, List
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: object) -> str:
+    number = float(value)
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def render_promfile(snapshot: Dict[str, object]) -> str:
+    """The snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def emit(name: str, kind: str, label_str: str, value: object) -> None:
+        if typed.get(name) != kind:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{label_str} {_format_value(value)}")
+
+    for entry in snapshot.get("counters", ()):  # type: ignore[union-attr]
+        emit(
+            _prom_name(entry["name"]), "counter",
+            _labels(entry["labels"]), entry["value"],
+        )
+    for entry in snapshot.get("gauges", ()):  # type: ignore[union-attr]
+        emit(
+            _prom_name(entry["name"]), "gauge",
+            _labels(entry["labels"]), entry["value"],
+        )
+    for entry in snapshot.get("histograms", ()):  # type: ignore[union-attr]
+        name = _prom_name(entry["name"])
+        if typed.get(name) != "histogram":
+            typed[name] = "histogram"
+            lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["bucket_counts"]):
+            cumulative += count
+            le = 'le="%g"' % bound
+            lines.append(f"{name}_bucket{_labels(entry['labels'], le)} {cumulative}")
+        inf = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_labels(entry['labels'], inf)} "
+            f"{_format_value(entry['count'])}"
+        )
+        lines.append(
+            f"{name}_sum{_labels(entry['labels'])} {_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_labels(entry['labels'])} "
+            f"{_format_value(entry['count'])}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_promfile(snapshot: Dict[str, object], fh: IO[str]) -> int:
+    """Write the rendered snapshot to ``fh``; returns the line count."""
+    text = render_promfile(snapshot)
+    fh.write(text)
+    return text.count("\n")

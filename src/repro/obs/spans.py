@@ -1,0 +1,97 @@
+"""Lightweight span tracing: ``with span("replay.batch", shard=k): ...``.
+
+A span measures one timed region on the monotonic clock.  Spans nest via
+a thread-local stack — each records its parent's name and its own depth —
+and are exported two ways on exit:
+
+* a ``span_seconds`` histogram observation in the metrics registry
+  (labelled ``span=<name>`` plus the caller's labels), so durations are
+  mergeable across worker processes like every other metric;
+* a flat ``{"type": "span", ...}`` JSONL event via ``REPRO_LOG`` (see
+  :mod:`repro.obs.log`), the diffable event-log form.
+
+Overhead off the hot path is two ``monotonic()`` calls and a dict update;
+with ``REPRO_METRICS=0`` and ``REPRO_LOG`` unset, exit does nothing but
+pop the stack.  Spans are deliberately *not* placed inside the engine's
+dispatch loop — engine activity is counted, not span-timed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs.log import emit_event
+from repro.obs.metrics import registry
+
+_stack = threading.local()
+
+
+def _frames() -> list:
+    frames = getattr(_stack, "frames", None)
+    if frames is None:
+        frames = _stack.frames = []
+    return frames
+
+
+class Span:
+    """One timed region (live inside its ``with`` block, frozen after)."""
+
+    __slots__ = ("name", "labels", "parent", "depth", "start_s", "duration_s")
+
+    def __init__(self, name: str, labels: Dict[str, object],
+                 parent: Optional[str], depth: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.parent = parent
+        self.depth = depth
+        self.start_s = time.monotonic()
+        self.duration_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSONL-event payload (labels inlined, reserved keys first)."""
+        payload: Dict[str, object] = {
+            "type": "span",
+            "span": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "duration_s": self.duration_s,
+        }
+        payload.update(self.labels)
+        return payload
+
+
+def current_span() -> Optional[Span]:
+    """The innermost live span of this thread, if any."""
+    frames = _frames()
+    return frames[-1] if frames else None
+
+
+@contextmanager
+def span(name: str, **labels: object) -> Iterator[Span]:
+    """Time a region; export duration as metric + JSONL event on exit.
+
+    The span is exported even when the body raises — the duration then
+    covers the partial execution, which is exactly what a timing trace of
+    a crashed shard should show.
+    """
+    frames = _frames()
+    parent = frames[-1] if frames else None
+    entry = Span(
+        name,
+        {k: str(v) for k, v in labels.items()},
+        parent.name if parent is not None else None,
+        len(frames),
+    )
+    frames.append(entry)
+    try:
+        yield entry
+    finally:
+        frames.pop()
+        entry.duration_s = time.monotonic() - entry.start_s
+        reg = registry()
+        if reg.enabled:
+            reg.observe("span_seconds", entry.duration_s, span=name, **labels)
+        emit_event(entry.to_dict())

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.acceptance import OutcomeClass
 from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
+from repro.obs.metrics import metrics_enabled, registry as _metrics_registry
 from repro.parallel.partition import chunk_evenly
 from repro.tracing.cache import TraceCache, trace_digest
 from repro.tracing.columnar import ColumnarTrace, artifact_suffix
@@ -112,22 +113,54 @@ def _worker_injector(
     return injector
 
 
+def _worker_metrics_baseline() -> None:
+    """Pool initializer: discard registry state inherited across ``fork``.
+
+    On fork-start platforms a fresh worker process carries a copy of the
+    parent's registry (golden-trace build, analysis passes, …).  Setting
+    the chunk cursor here makes the first chunk's delta cover only work
+    the worker itself performed, so the parent's pre-fork activity is
+    never shipped back and double-counted.
+    """
+    if metrics_enabled():
+        _metrics_registry().snapshot_delta("worker-chunk")
+
+
+def _chunk_metrics_delta() -> Optional[Dict[str, object]]:
+    """This process's registry activity since the previous chunk.
+
+    Worker processes ship the delta back with each chunk result; the
+    parent folds the deltas with ``registry().merge`` — associative, so
+    the fold is independent of chunk completion order.  (When the chunk
+    runs in the parent process the caller discards the delta: the
+    activity is already in the parent registry.)
+    """
+    if not metrics_enabled():
+        return None
+    return _metrics_registry().snapshot_delta("worker-chunk")
+
+
 def _inject_chunk(
     workload_name: str,
     workload_kwargs: Dict[str, object],
     specs: List[FaultSpec],
-) -> Tuple[List[Tuple[FaultSpec, str, str]], Dict[str, int]]:
+) -> Tuple[
+    List[Tuple[FaultSpec, str, str]],
+    Dict[str, int],
+    Optional[Dict[str, object]],
+]:
     # One injector per (worker process, workload): the golden run and the
     # checkpoint schedule are computed once, and the whole chunk is
     # submitted to the batched replay scheduler in one go (grouped by
     # snapshot interval, shared suffix walk, convergence memo).  The second
-    # element is the scheduler's counter delta for this chunk.
+    # element is the scheduler's counter delta for this chunk, the third
+    # the worker's metrics-registry delta.
     injector = _worker_injector(workload_name, workload_kwargs)
     results = [
         (result.spec, result.outcome.value, result.detail)
         for result in injector.inject_many(specs)
     ]
-    return results, injector.consume_batch_stats()
+    return results, injector.consume_batch_stats(), _chunk_metrics_delta()
 
 
 #: Per-worker-process columnar-trace cache, keyed by artifact path.  A
@@ -149,7 +182,7 @@ def _analyze_objects_chunk(
     object_names: List[str],
     config: AnalysisConfig,
     trace_path: Optional[str] = None,
-) -> List[Tuple[str, ObjectReport]]:
+) -> Tuple[List[Tuple[str, ObjectReport]], Optional[Dict[str, object]]]:
     from repro.core.advf import AdvfEngine
     from repro.workloads.registry import get_workload
 
@@ -162,7 +195,8 @@ def _analyze_objects_chunk(
     workload = get_workload(workload_name, **workload_kwargs)
     trace = _worker_trace(trace_path) if trace_path is not None else None
     engine = AdvfEngine(workload, config, trace=trace)
-    return [(name, engine.analyze_object(name)) for name in object_names]
+    pairs = [(name, engine.analyze_object(name)) for name in object_names]
+    return pairs, _chunk_metrics_delta()
 
 
 # --------------------------------------------------------------------- #
@@ -250,7 +284,9 @@ class CampaignRunner:
             return []
         if self.workers <= 1 or len(specs) < 4:
             try:
-                raw, stats = _inject_chunk(
+                # in-process: the metrics delta is already in this
+                # process's registry, so it is discarded, not merged
+                raw, stats, _ = _inject_chunk(
                     self.workload_name, self.workload_kwargs, specs
                 )
             except Exception as exc:
@@ -267,14 +303,21 @@ class CampaignRunner:
             on_progress,
         )
         results: List[FaultInjectionResult] = []
-        for raw, stats in per_chunk:
+        for raw, stats, delta in per_chunk:
             results.extend(_wrap(raw))
             self._merge_stats(stats)
+            self._fold_metrics(delta)
         return results
 
     def _merge_stats(self, stats: Dict[str, int]) -> None:
         for key, value in stats.items():
             self.last_batch_stats[key] = self.last_batch_stats.get(key, 0) + value
+
+    @staticmethod
+    def _fold_metrics(delta: Optional[Dict[str, object]]) -> None:
+        """Fold one worker chunk's registry delta into this process."""
+        if delta:
+            _metrics_registry().merge(delta)
 
     def _collect(
         self,
@@ -319,9 +362,13 @@ class CampaignRunner:
 
     def _acquire_pool(self) -> ProcessPoolExecutor:
         if not self.keep_pool:
-            return ProcessPoolExecutor(max_workers=self.workers)
+            return ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_metrics_baseline
+            )
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_metrics_baseline
+            )
         return self._pool
 
     def close(self) -> None:
@@ -364,7 +411,9 @@ class CampaignRunner:
             raise CampaignChunkError(self.workload_name, 0, names, exc) from exc
         if self.workers <= 1 or len(names) == 1:
             try:
-                pairs = _analyze_objects_chunk(
+                # in-process: the metrics delta is already in this
+                # process's registry, so it is discarded, not merged
+                pairs, _ = _analyze_objects_chunk(
                     self.workload_name, self.workload_kwargs, names, config,
                     trace_path,
                 )
@@ -386,7 +435,8 @@ class CampaignRunner:
             on_progress,
         )
         out: Dict[str, ObjectReport] = {}
-        for pairs in per_chunk:
+        for pairs, delta in per_chunk:
+            self._fold_metrics(delta)
             for name, report in pairs:
                 out[name] = report
         return out

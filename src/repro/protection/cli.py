@@ -249,13 +249,14 @@ def cmd_validate(args, open_store, say) -> int:
             if args.shard_size is not None
             else {}
         )
+        # No explicit progress callback: the validation orchestrators emit
+        # their own progress lines through the structured campaign logger.
         report = validate_plan(
             plan,
             store=store,
             bit_stride=args.bit_stride,
             max_tests=args.tests,
             workers=args.workers,
-            progress=say,
             max_shards=args.max_shards,
             **extra,
         )

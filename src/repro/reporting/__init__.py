@@ -8,6 +8,7 @@ Public API
 :func:`~repro.reporting.tables.format_advf_report_table`,
 :func:`~repro.reporting.tables.format_campaign_list`,
 :func:`~repro.reporting.tables.format_shard_table`,
+:func:`~repro.reporting.tables.format_metrics_table`,
 :func:`~repro.reporting.tables.format_protection_plan_table`,
 :func:`~repro.reporting.tables.format_validation_table`,
 :func:`~repro.reporting.figures.stacked_bar_chart`,
@@ -18,6 +19,7 @@ Public API
 from repro.reporting.tables import (
     format_advf_report_table,
     format_campaign_list,
+    format_metrics_table,
     format_outcome_table,
     format_protection_plan_table,
     format_shard_table,
@@ -38,6 +40,7 @@ __all__ = [
     "format_outcome_table",
     "format_advf_report_table",
     "format_campaign_list",
+    "format_metrics_table",
     "format_protection_plan_table",
     "format_shard_table",
     "format_validation_table",

@@ -179,6 +179,46 @@ def format_shard_table(
     )
 
 
+def format_metrics_table(snapshot: Dict[str, object]) -> str:
+    """Render a metrics snapshot (registry ``to_dict`` shape) as one table.
+
+    ``snapshot`` is a :meth:`repro.obs.metrics.MetricsRegistry.to_dict`
+    payload — live, or read back from the store's ``run_metrics`` rows —
+    so ``python -m repro stats`` renders entirely from persisted data.
+    Counters and gauges show their value; histograms show their
+    observation count and mean (seconds for ``*_seconds`` series).
+    """
+
+    def labels_str(labels: Dict[str, object]) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+    def num(value: object) -> str:
+        number = float(value)  # type: ignore[arg-type]
+        if number == int(number) and abs(number) < 1e15:
+            return str(int(number))
+        return f"{number:.4g}"
+
+    rows = []
+    for entry in snapshot.get("counters", ()):  # type: ignore[union-attr]
+        rows.append(
+            [entry["name"], labels_str(entry["labels"]), "counter",
+             num(entry["value"]), "-"]
+        )
+    for entry in snapshot.get("gauges", ()):  # type: ignore[union-attr]
+        rows.append(
+            [entry["name"], labels_str(entry["labels"]), "gauge",
+             num(entry["value"]), "-"]
+        )
+    for entry in snapshot.get("histograms", ()):  # type: ignore[union-attr]
+        count = int(entry["count"])
+        mean = float(entry["sum"]) / count if count else 0.0
+        rows.append(
+            [entry["name"], labels_str(entry["labels"]), "histogram",
+             num(count), f"{mean:.4f}"]
+        )
+    return format_table(["metric", "labels", "kind", "value", "mean"], rows)
+
+
 def format_protection_plan_table(plan: Dict[str, object]) -> str:
     """Render a persisted protection plan (``ProtectionPlan.to_dict`` shape).
 

@@ -23,6 +23,7 @@ import os
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.obs.metrics import registry as _metrics_registry
 from repro.tracing.columnar import ColumnarTrace, artifact_suffix, have_numpy
 
 #: Default cache directory when ``REPRO_TRACE_CACHE`` is unset.
@@ -118,11 +119,16 @@ class TraceCache:
         Returns ``(trace, hit)`` where ``hit`` says whether the artifact
         was served from disk.
         """
+        reg = _metrics_registry()
         cached = self.load(digest)
         if cached is not None:
             self.hits += 1
+            if reg.enabled:
+                reg.inc("trace_cache.hits")
             return cached, True
         self.misses += 1
+        if reg.enabled:
+            reg.inc("trace_cache.misses")
         trace = build()
         self.store(digest, trace)
         return trace, False

@@ -47,6 +47,7 @@ from repro.frontend.intrinsics import INTRINSICS
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.values import Argument, Constant, UndefValue
+from repro.obs.metrics import registry as _metrics_registry
 from repro.tracing.events import OperandKind, TraceEvent
 from repro.vm import semantics
 from repro.vm.bits import flip_bit
@@ -782,6 +783,9 @@ class Engine:
         self._dyn = snapshot.dyn
         self._last_writer = dict(snapshot.last_writer or {})
         self._reset_run_flags()
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("engine.snapshot_restores", backend=self.backend)
         # re-align snapshot capture to the first interval multiple strictly
         # after the restore point (the restore point itself is the snapshot
         # the caller already holds)
@@ -851,6 +855,9 @@ class Engine:
 
     def capture_fork(self) -> EngineFork:
         """A copy-on-write fork of the live state (frames + memory)."""
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("engine.forks", backend=self.backend)
         return EngineFork(
             self._dyn,
             [_FrameImage(frame) for frame in self._frames],
@@ -869,6 +876,9 @@ class Engine:
         self._last_writer = {}
         self._reset_run_flags()
         self._next_capture = _NEVER
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("engine.fork_adoptions", backend=self.backend)
 
     def run_checked(
         self,
@@ -1623,6 +1633,9 @@ class Engine:
                     last_writer=dict(self._last_writer) if tracing else None,
                 )
             )
+            reg = _metrics_registry()
+            if reg.enabled:
+                reg.inc("engine.snapshots", backend=self.backend)
             if (
                 self.snapshot_budget is not None
                 and len(self.snapshots) >= self.snapshot_budget
@@ -1719,6 +1732,11 @@ class Engine:
         dispatch = mir_fns[frame.df.name].dispatch if fast_mode else None
         sink_tick_block = sink.tick_block if fast_mode == 2 else None
         cell = [0]
+        # telemetry accumulators: plain local ints in the hot loop, flushed
+        # to the metrics registry exactly once per _loop call (see finally)
+        entry_dyn = dyn
+        segs = 0
+        seg_ops = 0
 
         try:
             while True:
@@ -1766,6 +1784,8 @@ class Engine:
                                     )
                                 raise
                             dyn = end
+                            segs += 1
+                            seg_ops += seg.n_ops
                             continue
 
                 op = ops[pc]
@@ -2001,5 +2021,15 @@ class Engine:
             raise
         finally:
             self._dyn = dyn
+            reg = _metrics_registry()
+            if reg.enabled:
+                executed = dyn - entry_dyn
+                if executed:
+                    reg.inc("engine.ops", executed, backend=self.backend)
+                if segs:
+                    reg.inc(
+                        "engine.segment_dispatches", segs, backend=self.backend
+                    )
+                    reg.inc("engine.segment_ops", seg_ops, backend=self.backend)
 
         return ExecutionResult(return_value=return_value, steps=dyn, trace=sink)

@@ -127,3 +127,86 @@ class TestInProcessCommands:
         with pytest.raises(SystemExit):
             main(["campaign", "run", "matmul", "--plan", "bogus:1",
                   "--store", store_path])
+
+
+class TestStatsCommand:
+    def _base(self, store_path):
+        return ["--store", store_path, "--workers", "1"]
+
+    def test_stats_renders_persisted_metrics(self, store_path, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:16",
+             *self._base(store_path)]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(
+            ["stats", "matmul", "--plan", "fixed:16", "--store", store_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign :" in out and "matmul" in out
+        assert "store schema v5" in out
+        assert "runs     : 1 of 1 with metrics" in out
+        # engine activity made it through the run cursor into the store
+        assert "engine.ops" in out
+        assert "trace cache" in out and "mir cache" in out
+        # the run traces once, so exactly one trace-cache miss is recorded
+        assert "trace cache: 0 hits / 1 misses" in out
+
+    def test_stats_metrics_survive_worker_processes(self, store_path, capsys):
+        """Worker-side deltas fold into the parent and persist (2 workers)."""
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:16",
+             "--store", store_path, "--workers", "2", "--shard-size", "8"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["stats", "matmul", "--plan", "fixed:16", "--shard-size", "8",
+             "--store", store_path]
+        ) == 0
+        out = capsys.readouterr().out
+        # injections replay in workers; their engine ops must be folded in
+        assert "replay.faults" in out
+        assert "trace cache: 0 hits / 1 misses" in out
+
+    def test_stats_promfile_export(self, store_path, tmp_path, capsys):
+        main(["campaign", "run", "matmul", "--plan", "fixed:8",
+              *self._base(store_path)])
+        capsys.readouterr()
+        prom_path = str(tmp_path / "repro.prom")
+        assert main(
+            ["stats", "matmul", "--plan", "fixed:8", "--store", store_path,
+             "--promfile", prom_path]
+        ) == 0
+        text = open(prom_path).read()
+        assert "# TYPE repro_engine_ops counter" in text
+        assert "repro_engine_ops{" in text
+
+    def test_status_metrics_flag(self, store_path, capsys):
+        main(["campaign", "run", "matmul", "--plan", "fixed:8",
+              *self._base(store_path)])
+        capsys.readouterr()
+        assert main(
+            ["campaign", "status", "matmul", "--plan", "fixed:8",
+             "--store", store_path, "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine.ops" in out
+
+    def test_stats_without_metrics_explains(self, store_path, capsys, monkeypatch):
+        from repro.obs.metrics import configure
+
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        configure(None)
+        try:
+            main(["campaign", "run", "matmul", "--plan", "fixed:8",
+                  *self._base(store_path)])
+            capsys.readouterr()
+            assert main(
+                ["stats", "matmul", "--plan", "fixed:8", "--store", store_path]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "no run metrics recorded" in out
+        finally:
+            monkeypatch.delenv("REPRO_METRICS")
+            configure(None)

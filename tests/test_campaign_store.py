@@ -211,3 +211,86 @@ class TestExport:
         assert types.count("outcome") == 3 and types.count("report") == 1
         outcome = next(row for row in rows if row["type"] == "outcome")
         assert FaultInjectionResult.from_row(outcome).spec.dynamic_id == 10
+
+
+class TestRunMetrics:
+    def _snapshot(self, ops=100, hits=3):
+        return {
+            "counters": [
+                {"name": "engine.ops", "labels": {"backend": "block"}, "value": ops},
+                {"name": "replay.memo_hits", "labels": {}, "value": hits},
+            ],
+            "gauges": [],
+            "histograms": [],
+        }
+
+    def test_round_trip_and_replace(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.save_run_metrics(cid, run, self._snapshot(ops=100))
+        assert store.run_metrics(cid) == {run: self._snapshot(ops=100)}
+        # latest write wins — a re-recorded run never double-counts
+        store.save_run_metrics(cid, run, self._snapshot(ops=250))
+        assert store.run_metrics(cid) == {run: self._snapshot(ops=250)}
+
+    def test_campaign_metrics_merges_runs(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        r1, r2 = store.begin_run(cid), store.begin_run(cid)
+        store.save_run_metrics(cid, r1, self._snapshot(ops=100, hits=1))
+        store.save_run_metrics(cid, r2, self._snapshot(ops=50, hits=2))
+        merged = store.campaign_metrics(cid)
+        by_name = {e["name"]: e["value"] for e in merged["counters"]}
+        assert by_name == {"engine.ops": 150, "replay.memo_hits": 3}
+
+    def test_campaign_metrics_empty_without_runs(self, store):
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        assert store.campaign_metrics(cid) == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+
+    def test_campaign_stamps_repro_version(self, store):
+        from repro.version import __version__
+
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        assert store.campaign(cid).repro_version == __version__
+
+    def test_export_includes_run_metrics_lines(self, store, tmp_path):
+        from repro.version import __version__
+
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.record_shard(cid, 0, "C", 0, run, 0.1, _results(3))
+        store.save_run_metrics(cid, run, self._snapshot())
+        path = tmp_path / "dump.jsonl"
+        with open(path, "w") as fh:
+            store.export_jsonl(cid, fh)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["repro_version"] == __version__
+        metrics_rows = [row for row in rows if row["type"] == "run_metrics"]
+        assert len(metrics_rows) == 1
+        assert metrics_rows[0]["run_id"] == run
+        assert metrics_rows[0]["metrics"] == self._snapshot()
+
+    def test_v4_store_migrates_in_place(self, tmp_path):
+        """v5 adds a defaulted column + a new table: v4 upgrades losslessly."""
+        path = tmp_path / "v4.sqlite"
+        with CampaignStore(path) as s:
+            cid = s.ensure_campaign("matmul", {}, PLAN, 32)
+            run = s.begin_run(cid)
+            s.record_shard(cid, 0, "C", 0, run, 0.1, _results())
+        # rewind the file to schema v4 by dropping everything v5 added
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE campaigns DROP COLUMN repro_version")
+        conn.execute("DROP TABLE run_metrics")
+        conn.execute("UPDATE meta SET value = '4' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with CampaignStore(path) as s:
+            assert s.schema_version == SCHEMA_VERSION
+            record = s.campaign(cid)
+            assert record.repro_version == ""  # pre-v5 campaigns: no stamp
+            assert len(s.outcomes(cid)) == 4  # populated rows survive
+            assert s.run_metrics(cid) == {}
+            s.save_run_metrics(cid, run, {"counters": [], "gauges": [],
+                                          "histograms": []})
+            assert list(s.run_metrics(cid)) == [run]

@@ -221,6 +221,38 @@ def test_memo_answers_repeated_submissions():
     assert context.stats.faults == 2 * len(specs)
 
 
+def test_memo_hit_on_divergent_resubmission():
+    """A fault that evicts into a private replay and completes records its
+    digest tail in the convergence memo; resubmitting the same spec is
+    answered from the memo, bit-identically.  Low-bit ``colidx`` flips on
+    small cg diverge control flow (the gather walks a different column)
+    without leaving the address space, which is exactly the
+    evict-then-complete shape the memo exists for."""
+    workload = _small("cg")
+    trace = workload.traced_run().trace
+    sites = enumerate_fault_sites(trace, "colidx", bit_stride=7)
+    for site in sites[:12]:
+        spec = site.to_spec()
+        context = BatchedReplayContext(workload)
+        first = context.replay_many([spec])[0]
+        if not context.stats.evicted or first.error is not None:
+            continue
+        second = context.replay_many([spec])[0]
+        assert context.stats.memo_hits >= 1
+        assert second.outcome.return_value == first.outcome.return_value
+        assert second.outcome.steps == first.outcome.steps
+        for obj in first.outcome.outputs:
+            assert np.array_equal(
+                second.outcome.outputs[obj].view(np.uint8),
+                first.outcome.outputs[obj].view(np.uint8),
+            )
+        break
+    else:
+        pytest.fail(
+            "no divergent, completing colidx fault in the probe window"
+        )
+
+
 def test_duplicate_specs_in_one_batch():
     """Sampling with replacement submits identical specs; each resolves
     independently and identically."""
