@@ -1,0 +1,182 @@
+"""A-INJECT — speculative batched injection resolution vs sequential.
+
+Compares two runs of the full aDVF analysis (injection enabled) per
+workload, differing only in the speculation window:
+
+* **sequential**: ``speculation_window=0`` — the oracle path; every
+  unresolved pattern takes a budget decision and (when in budget) a
+  single ``inject`` call, one snapshot restore + suffix execution at a
+  time;
+* **speculative**: ``speculation_window=N`` (default 32) — the plan-ahead
+  scheduler predicts the count-based budget decisions, submits whole
+  windows of predicted injections through
+  ``DeterministicFaultInjector.inject_many`` (the batched replay
+  scheduler), and validates every prediction in arrival order.
+
+The timed quantity is the **injection-resolution phase only**
+(``AdvfEngine.pass_timings["injection"]``) — trace recording,
+participation discovery and the bulk operation passes are identical in
+both configurations and excluded.
+
+Acceptance bar: reports **bit-identical** on every registry workload
+(compared via ``ObjectReport.to_dict()`` before any timing is trusted),
+then a **>= 2x geometric-mean speedup** on the injection-resolution
+phase across ``matmul`` and ``cg``.  The timed legs raise
+``injection_samples_per_class`` (default 8) so the injection phase has a
+campaign-scale number of replays to amortize; the identity sweep runs
+the paper-default config.  Results land in pytest-benchmark
+``extra_info`` (or ``BENCH_advf_inject.json`` when run standalone)::
+
+    python benchmarks/bench_advf_inject.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+
+try:
+    import repro  # noqa: F401  (installed package or PYTHONPATH=src)
+except ModuleNotFoundError:  # standalone script run from a source checkout
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro.core.advf import DEFAULT_SPECULATION_WINDOW, AdvfEngine, AnalysisConfig
+from repro.obs.log import provenance
+from repro.workloads.registry import get_workload, workload_names
+
+#: Scale factor (1 = quick laptop/CI run); scales timing repeats.
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+#: Speculation window under test.
+WINDOW = max(1, int(os.environ.get("REPRO_BENCH_INJECT_WINDOW",
+                                   str(DEFAULT_SPECULATION_WINDOW))))
+#: Timing repeats per configuration on the timed workloads (min is kept).
+REPEATS = max(1, int(os.environ.get("REPRO_BENCH_INJECT_REPEATS", "2"))) * SCALE
+#: ``injection_samples_per_class`` for the timed legs — deeper than the
+#: paper default (2) so the injection phase replays at campaign scale.
+SAMPLES = max(1, int(os.environ.get("REPRO_BENCH_INJECT_SAMPLES", "8")))
+#: Geometric-mean injection-phase speedup bar over the timed workloads.
+SPEEDUP_BAR = 2.0
+OUTPUT = os.environ.get("REPRO_BENCH_INJECT_JSON", "BENCH_advf_inject.json")
+
+#: Workloads whose injection phase is timed (and held to the bar).
+TIMED_WORKLOADS = os.environ.get("REPRO_BENCH_INJECT_WORKLOADS", "matmul,cg").split(",")
+
+
+def _analyze(workload_name, window, samples=2):
+    """One full aDVF analysis; returns (report, injection_s, spec_stats)."""
+    workload = get_workload(workload_name)
+    engine = AdvfEngine(
+        workload,
+        AnalysisConfig(
+            use_injection=True,
+            speculation_window=window,
+            injection_samples_per_class=samples,
+        ),
+    )
+    report = engine.analyze()
+    return report, engine.pass_timings.get("injection", 0.0), dict(engine.speculation_stats)
+
+
+def _assert_bit_identical(name, sequential, speculative):
+    for object_name, report in sequential.objects.items():
+        fast = speculative.objects[object_name]
+        assert report.to_dict() == fast.to_dict(), (
+            f"speculation diverged on {name}.{object_name}"
+        )
+
+
+def check_bit_identity():
+    """Sequential vs speculative reports on every registry workload."""
+    checked = []
+    for name in workload_names():
+        sequential, _, _ = _analyze(name, window=0)
+        speculative, _, stats = _analyze(name, window=WINDOW)
+        _assert_bit_identical(name, sequential, speculative)
+        checked.append({
+            "workload": name,
+            "objects": len(sequential.objects),
+            "speculated": stats.get("speculated", 0),
+            "spec_discards": stats.get("spec_discards", 0),
+            "spec_windows": stats.get("spec_windows", 0),
+        })
+    return checked
+
+
+def measure_workload(name):
+    """Min-of-repeats injection-phase wall clock, sequential vs speculative."""
+    sequential_s = min(
+        _analyze(name, window=0, samples=SAMPLES)[1] for _ in range(REPEATS)
+    )
+    speculative_s = float("inf")
+    stats = {}
+    for _ in range(REPEATS):
+        _, elapsed, run_stats = _analyze(name, window=WINDOW, samples=SAMPLES)
+        if elapsed < speculative_s:
+            speculative_s, stats = elapsed, run_stats
+    return {
+        "workload": name,
+        "injection_samples_per_class": SAMPLES,
+        "sequential_injection_s": sequential_s,
+        "speculative_injection_s": speculative_s,
+        "speedup": sequential_s / speculative_s if speculative_s else float("inf"),
+        "speculation_stats": stats,
+    }
+
+
+def measure_all():
+    results = {
+        "window": WINDOW,
+        "identity_checked": check_bit_identity(),
+        "timings": {name: measure_workload(name) for name in TIMED_WORKLOADS},
+        "speedup_bar": SPEEDUP_BAR,
+    }
+    speedups = [entry["speedup"] for entry in results["timings"].values()]
+    results["geomean_speedup"] = math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups)
+    )
+    return results
+
+
+def _check(results):
+    geomean = results["geomean_speedup"]
+    assert geomean >= SPEEDUP_BAR, (
+        f"speculative injection-resolution geomean speedup {geomean:.2f}x over "
+        f"{', '.join(TIMED_WORKLOADS)} is below the {SPEEDUP_BAR}x acceptance bar"
+    )
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry point
+# --------------------------------------------------------------------- #
+def test_bench_advf_inject(once, benchmark):
+    from conftest import print_header
+
+    results = once(measure_all)
+    benchmark.extra_info.update(
+        {name: entry for name, entry in results["timings"].items()}
+    )
+    benchmark.extra_info["geomean_speedup"] = results["geomean_speedup"]
+    print_header(
+        f"Speculative injection resolution vs sequential (window={WINDOW}, "
+        f"bar >= {SPEEDUP_BAR}x geomean on {', '.join(TIMED_WORKLOADS)})"
+    )
+    print(json.dumps(results, indent=2))
+    _check(results)
+
+
+def main() -> None:
+    results = measure_all()
+    results["provenance"] = provenance()
+    print(json.dumps(results, indent=2))
+    with open(OUTPUT, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"wrote {OUTPUT}", file=sys.stderr)
+    _check(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -324,6 +324,9 @@ def _shard_rows(shards) -> List[Dict[str, object]]:
             "rbatches": shard.batches,
             "memo_hits": shard.memo_hits,
             "memo_misses": shard.memo_misses,
+            "speculated": shard.speculated,
+            "spec_discards": shard.spec_discards,
+            "spec_windows": shard.spec_windows,
         }
         for shard in shards
     ]
@@ -364,6 +367,17 @@ def _cmd_stats(args) -> int:
             rate = f"{hits / probes:.2f}" if probes else "-"
             print(f"{label:<11}: {hits} hits / {misses} misses "
                   f"(hit rate {rate})")
+        persist_hits = _counter_total(merged, "replay.memo_persist_hits")
+        persist_loads = _counter_total(merged, "replay.memo_persist_loads")
+        persist_merges = _counter_total(merged, "replay.memo_persist_merges")
+        print(f"{'memo store':<11}: {persist_hits} warm-start hits / "
+              f"{persist_loads} loads / {persist_merges} merges "
+              f"(persisted convergence memo; see REPRO_MEMO_CACHE)")
+        speculated = _counter_total(merged, "advf.speculated")
+        discards = _counter_total(merged, "advf.speculation_discards")
+        disc_rate = f"{discards / speculated:.2f}" if speculated else "-"
+        print(f"{'speculation':<11}: {speculated} speculated / "
+              f"{discards} discarded (discard rate {disc_rate})")
         print()
         if any(merged.values()):
             print(format_metrics_table(merged))

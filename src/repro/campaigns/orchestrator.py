@@ -37,7 +37,7 @@ from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.spans import span
 from repro.parallel.campaign import CampaignRunner, _default_workers
 from repro.parallel.partition import chunk_evenly
-from repro.tracing.cache import TraceCache, trace_digest
+from repro.tracing.cache import MemoCache, TraceCache, trace_digest
 from repro.vm.faults import FaultSpec
 from repro.workloads.registry import get_workload, validate_workload
 
@@ -441,8 +441,11 @@ class CampaignOrchestrator:
         with span(
             "campaign.shard", shard=task.index, object=task.object_name
         ):
-            results, batch_stats = self._execute_specs(list(task.specs))
+            results, batch_stats, memo_delta = self._execute_specs(
+                list(task.specs)
+            )
         duration = time.perf_counter() - start
+        self._persist_memo(memo_delta)
         self.store.record_shard(
             self.campaign_id,
             task.index,
@@ -471,13 +474,22 @@ class CampaignOrchestrator:
 
     def _execute_specs(
         self, specs: List[FaultSpec]
-    ) -> Tuple[List[FaultInjectionResult], Dict[str, int]]:
-        """Run one shard's specs; returns results + replay-batch counters."""
+    ) -> Tuple[
+        List[FaultInjectionResult], Dict[str, int], Optional[Dict[str, object]]
+    ]:
+        """Run one shard's specs; returns results + replay-batch counters +
+        the shard's convergence-memo delta (``None`` when nothing new)."""
         if self.workers <= 1:
             if self._injector is None:
-                self._injector = DeterministicFaultInjector(self._workload())
+                self._injector = DeterministicFaultInjector(
+                    self._workload(), memo_key=self.trace_digest
+                )
             results = self._injector.inject_many(specs)
-            return results, self._injector.consume_batch_stats()
+            return (
+                results,
+                self._injector.consume_batch_stats(),
+                self._injector.consume_memo_delta(),
+            )
         if self._runner is None:
             # One persistent pool for the whole run: worker processes (and
             # their per-workload injectors) are reused across shards instead
@@ -489,7 +501,27 @@ class CampaignOrchestrator:
                 keep_pool=True,
             )
         results = self._runner.run_injections(specs)
-        return results, dict(self._runner.last_batch_stats)
+        return (
+            results,
+            dict(self._runner.last_batch_stats),
+            self._runner.last_memo_delta,
+        )
+
+    def _persist_memo(self, delta: Optional[Dict[str, object]]) -> None:
+        """Fold one shard's learned memo entries into the shared artifact.
+
+        Persisted after every shard (not at campaign end) so an interrupted
+        campaign's resume — and any concurrently-starting worker — already
+        warm-starts from the entries completed shards learned.
+        """
+        if not delta:
+            return
+        cache = MemoCache.from_env()
+        if cache is None:
+            return
+        from repro.vm.engine import default_backend
+
+        cache.merge_store(self.trace_digest, default_backend(), delta)
 
     def _close_runner(self) -> None:
         if self._runner is not None:

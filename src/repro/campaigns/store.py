@@ -22,8 +22,9 @@ Design points:
   creation and checked on open; older stores are migrated in place (v2
   only adds defaulted columns, v3 only adds the protection tables, v4
   adds defaulted replay-batch columns, v5 adds the ``run_metrics`` table
-  and a defaulted version column), any other mismatch raises
-  :class:`StoreVersionError` instead of silently misreading rows.
+  and a defaulted version column, v6 adds defaulted speculation columns),
+  any other mismatch raises :class:`StoreVersionError` instead of
+  silently misreading rows.
 * **Protection rows (v3).**  The selective-protection subsystem
   (:mod:`repro.protection`) persists its advisor plans
   (``protection_plans``) and the closed-loop validation campaigns run
@@ -40,6 +41,11 @@ Design points:
   run) and campaigns stamp the ``repro_version`` that created them, so
   ``python -m repro stats`` renders engine/replay/cache telemetry from
   the store alone and exports carry their provenance.
+* **Speculation telemetry (v6).**  Shards carry the aDVF speculative
+  injection scheduler's counters (``speculated``, ``spec_discards``,
+  ``spec_windows``) next to the replay-batch columns, so
+  ``campaign status`` can show how much of a shard's injection work ran
+  speculatively and how much speculation was discarded.
 """
 
 from __future__ import annotations
@@ -59,7 +65,7 @@ from repro.obs.metrics import merge_snapshots
 from repro.version import __version__ as _REPRO_VERSION
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -97,6 +103,9 @@ CREATE TABLE IF NOT EXISTS shards (
     batches     INTEGER NOT NULL DEFAULT 0,
     memo_hits   INTEGER NOT NULL DEFAULT 0,
     memo_misses INTEGER NOT NULL DEFAULT 0,
+    speculated    INTEGER NOT NULL DEFAULT 0,
+    spec_discards INTEGER NOT NULL DEFAULT 0,
+    spec_windows  INTEGER NOT NULL DEFAULT 0,
     recorded_at REAL NOT NULL,
     PRIMARY KEY (campaign_id, shard_index)
 );
@@ -226,6 +235,13 @@ class ShardRecord:
     batches: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    #: aDVF speculative-injection telemetry (v6): pattern resolutions the
+    #: speculation scheduler predicted ahead of their budget decisions,
+    #: how many of those predictions were discarded, and how many
+    #: speculation windows were flushed for the shard.
+    speculated: int = 0
+    spec_discards: int = 0
+    spec_windows: int = 0
 
     @property
     def faults_per_restore(self) -> float:
@@ -345,6 +361,8 @@ class CampaignStore:
                 version = self._migrate_v3_to_v4()
             if version == 4:
                 version = self._migrate_v4_to_v5()
+            if version == 5:
+                version = self._migrate_v5_to_v6()
             if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
@@ -429,6 +447,23 @@ class CampaignStore:
             "UPDATE meta SET value = '5' WHERE key = 'schema_version'"
         )
         return 5
+
+    def _migrate_v5_to_v6(self) -> int:
+        """v5 → v6: defaulted speculation columns only — pre-speculation
+        shards read back with zeroed counters and stay fully usable."""
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(shards)")
+        }
+        for column in ("speculated", "spec_discards", "spec_windows"):
+            if column not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE shards ADD COLUMN {column} "
+                    f"INTEGER NOT NULL DEFAULT 0"
+                )
+        self._conn.execute(
+            "UPDATE meta SET value = '6' WHERE key = 'schema_version'"
+        )
+        return 6
 
     @property
     def schema_version(self) -> int:
@@ -635,7 +670,9 @@ class CampaignStore:
 
         ``batch_stats`` (if given) carries the replay-batch scheduler's
         counters for this shard — ``batches``, ``memo_hits`` and
-        ``memo_misses`` are stamped onto the shard row.
+        ``memo_misses`` are stamped onto the shard row, along with the
+        aDVF speculation counters (``speculated``, ``spec_discards``,
+        ``spec_windows``) when the speculative scheduler ran.
         """
         stats = batch_stats or {}
         with self._conn:
@@ -663,8 +700,8 @@ class CampaignStore:
             self._conn.execute(
                 "INSERT INTO shards (campaign_id, shard_index, object_name, batch, "
                 "run_id, spec_count, duration_s, analysis_s, batches, memo_hits, "
-                "memo_misses, recorded_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "memo_misses, speculated, spec_discards, spec_windows, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     campaign_id,
                     shard_index,
@@ -677,6 +714,9 @@ class CampaignStore:
                     int(stats.get("batches", 0)),
                     int(stats.get("memo_hits", 0)),
                     int(stats.get("memo_misses", 0)),
+                    int(stats.get("speculated", 0)),
+                    int(stats.get("spec_discards", 0)),
+                    int(stats.get("spec_windows", 0)),
                     time.time(),
                 ),
             )
@@ -686,7 +726,8 @@ class CampaignStore:
         out: Dict[int, ShardRecord] = {}
         for row in self._conn.execute(
             "SELECT shard_index, object_name, batch, run_id, spec_count, "
-            "duration_s, analysis_s, batches, memo_hits, memo_misses "
+            "duration_s, analysis_s, batches, memo_hits, memo_misses, "
+            "speculated, spec_discards, spec_windows "
             "FROM shards WHERE campaign_id = ? ORDER BY shard_index",
             (campaign_id,),
         ):
@@ -701,6 +742,9 @@ class CampaignStore:
                 batches=int(row[7]),
                 memo_hits=int(row[8]),
                 memo_misses=int(row[9]),
+                speculated=int(row[10]),
+                spec_discards=int(row[11]),
+                spec_windows=int(row[12]),
             )
             out[record.shard_index] = record
         return out

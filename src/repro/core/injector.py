@@ -80,6 +80,7 @@ class DeterministicFaultInjector:
         checkpoint_interval: Optional[int] = None,
         target_checkpoints: int = 64,
         context: Optional[ReplayContext] = None,
+        memo_key: Optional[str] = None,
     ) -> None:
         if mode not in ("replay", "rerun"):
             raise ValueError(f"unknown injection mode {mode!r}")
@@ -101,8 +102,16 @@ class DeterministicFaultInjector:
         #: (e.g. the aDVF engine records its golden trace during the same
         #: execution that captures the checkpoints).
         self._context: Optional[ReplayContext] = context
+        #: Trace digest keying the persisted convergence-memo artifact
+        #: (``None`` disables memo persistence for this injector).
+        self.memo_key = memo_key
         self.runs = 0
         self._stats_seen: Dict[str, int] = {}
+        self._warmed = False
+        self._memo_backend: Optional[str] = None
+        #: aDVF speculation telemetry folded into :meth:`consume_batch_stats`
+        #: (stamped per shard next to the scheduler counters).
+        self._speculation: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,7 +129,35 @@ class DeterministicFaultInjector:
                 checkpoint_interval=self.checkpoint_interval,
                 target_checkpoints=self.target_checkpoints,
             )
+        self._warm_start()
         return self._context
+
+    def _warm_start(self) -> None:
+        """Merge the persisted memo artifact into the context's memo, once.
+
+        A no-op without a ``memo_key``, a batch-capable context, or a
+        configured :class:`~repro.tracing.cache.MemoCache`; a missing or
+        mismatched artifact just leaves the memo cold.
+        """
+        if self._warmed:
+            return
+        self._warmed = True
+        if self.memo_key is None:
+            return
+        context = self._context
+        if not isinstance(context, BatchedReplayContext):
+            return
+        memo = context.memo
+        if memo is None:
+            return
+        from repro.tracing.cache import MemoCache
+        from repro.vm.engine import default_backend
+
+        cache = MemoCache.from_env()
+        if cache is None:
+            return
+        self._memo_backend = default_backend()
+        memo.merge_payload(cache.load(self.memo_key, self._memo_backend))
 
     @property
     def golden(self) -> RunOutcome:
@@ -172,7 +209,10 @@ class DeterministicFaultInjector:
             return [self.inject(spec) for spec in specs]
         context = self.context
         if not isinstance(context, BatchedReplayContext):
-            return [self.inject(spec) for spec in specs]
+            # sequential fallback: batch the per-replay counter increments
+            # into local ints, flushed once at the end of the loop
+            with context.deferred_metrics():
+                return [self.inject(spec) for spec in specs]
         self.runs += len(specs)
         replayed = context.replay_many(specs)
         return [
@@ -197,6 +237,43 @@ class DeterministicFaultInjector:
             for key, value in current.items()
         }
         self._stats_seen = current
+        if self._speculation:
+            for key, value in self._speculation.items():
+                delta[key] = delta.get(key, 0) + value
+            self._speculation = {}
+        return delta
+
+    def record_speculation(self, counts: Dict[str, int]) -> None:
+        """Accumulate aDVF speculation telemetry (``speculated`` /
+        ``spec_discards`` / ``spec_windows``) for the next
+        :meth:`consume_batch_stats`, which stamps it into shard rows."""
+        for key, value in counts.items():
+            if value:
+                self._speculation[key] = self._speculation.get(key, 0) + value
+
+    def consume_memo_delta(self) -> Optional[Dict[str, object]]:
+        """Payload of memo entries learned since the previous call.
+
+        ``None`` when nothing new was recorded, the context has no memo,
+        or the injector has no ``memo_key`` (persistence disabled).
+        Campaign workers return this per chunk; the orchestrator folds
+        the deltas into the persisted artifact via
+        :meth:`repro.tracing.cache.MemoCache.merge_store`.
+        """
+        if self.memo_key is None:
+            return None
+        context = self._context
+        if not isinstance(context, BatchedReplayContext):
+            return None
+        memo = context.memo
+        if memo is None:
+            return None
+        delta = memo.consume_delta()
+        if delta is not None:
+            from repro.vm.engine import default_backend
+
+            delta["trace"] = self.memo_key
+            delta["backend"] = self._memo_backend or default_backend()
         return delta
 
     def _classify(

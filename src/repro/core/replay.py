@@ -27,8 +27,9 @@ workloads and fault targets.
 from __future__ import annotations
 
 from bisect import bisect_right
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +39,11 @@ from repro.vm.faults import FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import only needed for typing
     from repro.workloads.base import RunOutcome, Workload
+
+#: Format version of the serialised convergence-memo artifact.  Bumped on
+#: any change to the payload layout or the entry encoding; persisted memos
+#: of other versions are treated as cold (never migrated in place).
+MEMO_FORMAT_VERSION = 1
 
 #: Golden dynamic-instruction counts observed per workload configuration.
 #: ``fresh_instance`` is deterministic, so one measurement fixes the length
@@ -161,6 +167,10 @@ class ReplayContext:
         self.converged_replays = 0
         #: Total replays served.
         self.replays = 0
+        #: Local accumulators while a :meth:`deferred_metrics` block is
+        #: active (``None`` outside one): per-replay counter increments land
+        #: here and are flushed to the registry once on exit.
+        self._deferred: Optional[Dict[str, int]] = None
         reg = _metrics_registry()
         if reg.enabled:
             reg.inc("replay.contexts", workload=workload.name)
@@ -170,6 +180,28 @@ class ReplayContext:
             )
 
     # ------------------------------------------------------------------ #
+    @contextmanager
+    def deferred_metrics(self):
+        """Batch per-replay counter increments into local ints for the
+        duration of the block, flushed to the registry once on exit — the
+        engine ``_loop`` flush pattern, for callers issuing many sequential
+        :meth:`replay` calls (e.g. the injector's sequential fallback loop).
+        Nested blocks flush at the outermost exit."""
+        if self._deferred is not None:
+            yield
+            return
+        counts = {"replay.sequential": 0, "replay.converged": 0}
+        self._deferred = counts
+        try:
+            yield
+        finally:
+            self._deferred = None
+            reg = _metrics_registry()
+            if reg.enabled:
+                for name, value in counts.items():
+                    if value:
+                        reg.inc(name, value, workload=self.workload.name)
+
     def golden_outcome(self) -> "RunOutcome":
         """The fault-free outcome (outputs are fresh copies)."""
         from repro.workloads.base import RunOutcome
@@ -210,11 +242,17 @@ class ReplayContext:
             snapshot,
             golden_schedule=self.snapshots if self.detect_convergence else None,
         )
-        reg = _metrics_registry()
-        if reg.enabled:
-            reg.inc("replay.sequential", workload=self.workload.name)
+        deferred = self._deferred
+        if deferred is not None:
+            deferred["replay.sequential"] += 1
             if engine.converged:
-                reg.inc("replay.converged", workload=self.workload.name)
+                deferred["replay.converged"] += 1
+        else:
+            reg = _metrics_registry()
+            if reg.enabled:
+                reg.inc("replay.sequential", workload=self.workload.name)
+                if engine.converged:
+                    reg.inc("replay.converged", workload=self.workload.name)
         if engine.converged:
             self.converged_replays += 1
             return self.golden_outcome()
@@ -242,6 +280,9 @@ class ReplayBatchStats:
     ``memo_hits`` / ``memo_misses`` account the convergence memo: a *hit*
     answers a divergent replay from a previously recorded state, a *miss*
     is a divergent replay that had to run to completion.
+    ``memo_persist_hits`` is the subset of hits answered by an entry that
+    arrived through a persisted memo artifact (cross-process warm start);
+    ``memo_evictions`` counts entries dropped by the memo's FIFO eviction.
     """
 
     batches: int = 0
@@ -252,6 +293,8 @@ class ReplayBatchStats:
     converged: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    memo_persist_hits: int = 0
+    memo_evictions: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -263,6 +306,8 @@ class ReplayBatchStats:
             "converged": self.converged,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "memo_persist_hits": self.memo_persist_hits,
+            "memo_evictions": self.memo_evictions,
         }
 
 
@@ -286,16 +331,127 @@ class _MemoEntry:
     """Recorded outcome tail of one divergent replay (see :class:`ReplayMemo`)."""
 
     __slots__ = ("kind", "outputs", "return_value", "steps", "converged_at",
-                 "error")
+                 "error", "warm")
 
     def __init__(self, kind, outputs=None, return_value=None, steps=0,
-                 converged_at=None, error=None) -> None:
+                 converged_at=None, error=None, warm=False) -> None:
         self.kind = kind  # "golden" | "outcome" | "error"
         self.outputs = outputs
         self.return_value = return_value
         self.steps = steps
         self.converged_at = converged_at
         self.error = error
+        #: Whether the entry arrived through a persisted memo artifact
+        #: (cross-process warm start) rather than a replay in this process.
+        self.warm = warm
+
+
+# --------------------------------------------------------------------- #
+# memo entry (de)serialisation
+# --------------------------------------------------------------------- #
+def _encode_array(array: np.ndarray) -> Dict[str, object]:
+    """JSON form of an output array, exact for every dtype the VM uses.
+
+    ``tolist`` widens float32 to Python floats (float64) losslessly; JSON
+    round-trips float64 via shortest-repr exactly; and narrowing back to
+    the recorded dtype recovers the original bits (every float32 is
+    exactly representable in float64).  Integers are exact throughout.
+    """
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "values": array.ravel().tolist(),
+    }
+
+
+def _decode_array(payload: Dict[str, object]) -> np.ndarray:
+    return np.array(
+        payload["values"], dtype=np.dtype(str(payload["dtype"]))
+    ).reshape([int(n) for n in payload["shape"]])
+
+
+def _encode_scalar(value):
+    # numpy scalars first: np.float64 subclasses float, so the plain-type
+    # check would silently strip the dtype tag
+    if isinstance(value, np.generic):
+        return {"__np__": str(value.dtype), "value": value.item()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"unserialisable memo return value {value!r}")
+
+
+def _decode_scalar(payload):
+    if isinstance(payload, dict) and "__np__" in payload:
+        return np.dtype(str(payload["__np__"])).type(payload["value"])
+    return payload
+
+
+def _decode_error(type_name: str, message: str) -> BaseException:
+    """Rebuild a VM error of the recorded type carrying the recorded message.
+
+    Classification only depends on the exception's type (hang vs crash) and
+    its ``str()``, so the instance is constructed without re-running the
+    subclass constructor (signatures differ across error types).  Unknown
+    type names degrade to the :class:`~repro.vm.errors.VMError` base.
+    """
+    from repro.vm import errors as vm_errors
+
+    cls = getattr(vm_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, vm_errors.VMError)):
+        cls = vm_errors.VMError
+    error = cls.__new__(cls)
+    Exception.__init__(error, message)
+    return error
+
+
+def _encode_entry(entry: _MemoEntry) -> Dict[str, object]:
+    if entry.kind == "golden":
+        return {"kind": "golden", "converged_at": entry.converged_at}
+    if entry.kind == "error":
+        return {
+            "kind": "error",
+            "error_type": type(entry.error).__name__,
+            "error_message": str(entry.error),
+        }
+    return {
+        "kind": "outcome",
+        "outputs": {
+            name: _encode_array(array)
+            for name, array in sorted((entry.outputs or {}).items())
+        },
+        "return_value": _encode_scalar(entry.return_value),
+        "steps": entry.steps,
+    }
+
+
+def _decode_entry(payload: Dict[str, object], warm: bool) -> _MemoEntry:
+    kind = payload["kind"]
+    if kind == "golden":
+        converged_at = payload.get("converged_at")
+        return _MemoEntry(
+            "golden",
+            converged_at=None if converged_at is None else int(converged_at),
+            warm=warm,
+        )
+    if kind == "error":
+        return _MemoEntry(
+            "error",
+            error=_decode_error(
+                str(payload.get("error_type", "VMError")),
+                str(payload.get("error_message", "")),
+            ),
+            warm=warm,
+        )
+    return _MemoEntry(
+        "outcome",
+        outputs={
+            name: _decode_array(spec)
+            for name, spec in dict(payload.get("outputs", {})).items()
+        },
+        return_value=_decode_scalar(payload.get("return_value")),
+        steps=int(payload.get("steps", 0)),
+        warm=warm,
+    )
 
 
 class ReplayMemo:
@@ -308,11 +464,27 @@ class ReplayMemo:
     convergence is the special case where ``d`` equals the golden digest
     (handled separately by the engine's digest checks); this table covers
     repeated *divergent* states.
+
+    The table is bounded: past ``max_entries`` the oldest entries are
+    FIFO-evicted (insertion order, which tracks replay recency closely
+    enough here) so long campaigns keep memoising recent states instead of
+    freezing the table at its first fill.  It is also *portable*:
+    :meth:`to_payload` / :meth:`merge_payload` serialise entry tails —
+    outputs, return value, steps, error type + message — into plain JSON,
+    keyed by ``(position, digest hex)``, so campaign workers and resumed
+    campaigns can warm-start from a shared artifact
+    (see :class:`repro.tracing.cache.MemoCache`).
     """
 
     def __init__(self, max_entries: int = 16384) -> None:
         self.max_entries = max_entries
         self._table: Dict[Tuple[int, bytes], _MemoEntry] = {}
+        #: Entries dropped by FIFO eviction (cumulative).
+        self.evictions = 0
+        #: Keys recorded locally since the last :meth:`consume_delta`
+        #: (merged warm entries are deliberately excluded — deltas ship
+        #: only what this process learned).
+        self._dirty: set = set()
 
     def __len__(self) -> int:
         return len(self._table)
@@ -320,12 +492,121 @@ class ReplayMemo:
     def lookup(self, position: int, digest: bytes) -> Optional[_MemoEntry]:
         return self._table.get((position, digest))
 
-    def record(self, visited: Sequence[Tuple[int, bytes]], entry: _MemoEntry) -> None:
+    def record(self, visited: Sequence[Tuple[int, bytes]], entry: _MemoEntry) -> int:
+        """Memoize ``entry`` under every visited state; returns evictions."""
         table = self._table
+        evicted = 0
         for key in visited:
-            if len(table) >= self.max_entries:
-                return
+            if key not in table and len(table) >= self.max_entries:
+                oldest = next(iter(table))
+                del table[oldest]
+                self._dirty.discard(oldest)
+                evicted += 1
             table[key] = entry
+            self._dirty.add(key)
+        self.evictions += evicted
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _payload_for(self, keys: Iterable[Tuple[int, bytes]]) -> Dict[str, object]:
+        entries: List[Dict[str, object]] = []
+        index_of: Dict[int, int] = {}
+        key_rows: List[List[object]] = []
+        for key in sorted(keys):
+            entry = self._table.get(key)
+            if entry is None:
+                continue
+            index = index_of.get(id(entry))
+            if index is None:
+                index = index_of[id(entry)] = len(entries)
+                entries.append(_encode_entry(entry))
+            position, digest = key
+            key_rows.append([position, digest.hex(), index])
+        return {
+            "format": MEMO_FORMAT_VERSION,
+            "entries": entries,
+            "keys": key_rows,
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        """The whole table as a JSON-serialisable artifact payload."""
+        return self._payload_for(self._table.keys())
+
+    def consume_delta(self) -> Optional[Dict[str, object]]:
+        """Payload of the keys recorded since the previous call, or ``None``.
+
+        Workers ship these deltas back per chunk; the orchestrator merges
+        them into the persisted artifact with :meth:`merge_payloads`.
+        """
+        if not self._dirty:
+            return None
+        payload = self._payload_for(self._dirty)
+        self._dirty.clear()
+        return payload if payload["keys"] else None
+
+    def merge_payload(self, payload: Optional[Dict[str, object]],
+                      warm: bool = True) -> int:
+        """Fold a persisted payload into the table (existing entries win).
+
+        Returns the number of entries added.  Payloads of a different
+        format version are ignored (cold memo, never a crash), and the
+        table never evicts live entries to make room for warm ones.
+        """
+        if not payload or payload.get("format") != MEMO_FORMAT_VERSION:
+            return 0
+        decoded: Dict[int, _MemoEntry] = {}
+        table = self._table
+        added = 0
+        for position, digest_hex, index in payload.get("keys", ()):
+            key = (int(position), bytes.fromhex(str(digest_hex)))
+            if key in table:
+                continue
+            if len(table) >= self.max_entries:
+                break
+            entry = decoded.get(int(index))
+            if entry is None:
+                entry = decoded[int(index)] = _decode_entry(
+                    payload["entries"][int(index)], warm=warm
+                )
+            table[key] = entry
+            added += 1
+        return added
+
+    @staticmethod
+    def merge_payloads(
+        base: Optional[Dict[str, object]], delta: Optional[Dict[str, object]]
+    ) -> Optional[Dict[str, object]]:
+        """Merge two artifact payloads without decoding entry bodies.
+
+        ``base`` entries win on key conflicts, so the fold over any set of
+        *disjoint* worker deltas is order-independent.  A ``None`` (or
+        empty) side yields the other; mismatched format versions keep
+        ``base`` (never mix layouts in one artifact).
+        """
+        if not base or not base.get("keys"):
+            return delta
+        if not delta or not delta.get("keys"):
+            return base
+        if base.get("format") != delta.get("format"):
+            return base
+        seen = {(int(row[0]), str(row[1])) for row in base["keys"]}
+        entries = list(base["entries"])
+        keys = [list(row) for row in base["keys"]]
+        remap: Dict[int, int] = {}
+        for position, digest_hex, index in delta["keys"]:
+            if (int(position), str(digest_hex)) in seen:
+                continue
+            new_index = remap.get(int(index))
+            if new_index is None:
+                new_index = remap[int(index)] = len(entries)
+                entries.append(delta["entries"][int(index)])
+            keys.append([position, digest_hex, new_index])
+        merged = dict(base)
+        merged["entries"] = entries
+        merged["keys"] = keys
+        return merged
 
 
 @dataclass
@@ -368,6 +649,16 @@ class BatchedReplayContext(ReplayContext):
         self.stats = ReplayBatchStats()
         self._memo = ReplayMemo(memo_entries) if self.detect_convergence else None
         self._golden_digest_cache: Optional[Dict[int, bytes]] = None
+
+    @property
+    def memo(self) -> Optional[ReplayMemo]:
+        """The convergence memo (``None`` when convergence detection is off).
+
+        Exposed for persistence: callers warm-start it from an artifact via
+        :meth:`ReplayMemo.merge_payload` and ship learned entries onward via
+        :meth:`ReplayMemo.consume_delta`.
+        """
+        return self._memo
 
     # ------------------------------------------------------------------ #
     def plan_batches(
@@ -484,7 +775,7 @@ class BatchedReplayContext(ReplayContext):
             stats.converged += 1
             self.converged_replays += 1
             if memo is not None and resolution.visited:
-                memo.record(resolution.visited, _MemoEntry(
+                stats.memo_evictions += memo.record(resolution.visited, _MemoEntry(
                     "golden", converged_at=resolution.converged_at,
                 ))
             return BatchReplayResult(
@@ -518,7 +809,7 @@ class BatchedReplayContext(ReplayContext):
                 for name in self.workload.output_objects
             }
             if memo is not None and resolution.visited:
-                memo.record(resolution.visited, _MemoEntry(
+                stats.memo_evictions += memo.record(resolution.visited, _MemoEntry(
                     "outcome",
                     outputs={k: v.copy() for k, v in outputs.items()},
                     return_value=resolution.return_value,
@@ -537,8 +828,10 @@ class BatchedReplayContext(ReplayContext):
         if kind == "memo":
             entry = resolution.memo_entry
             stats.memo_hits += 1
+            if getattr(entry, "warm", False):
+                stats.memo_persist_hits += 1
             if memo is not None and resolution.visited:
-                memo.record(resolution.visited, entry)
+                stats.memo_evictions += memo.record(resolution.visited, entry)
             if entry.kind == "golden":
                 stats.converged += 1
                 self.converged_replays += 1
@@ -562,7 +855,7 @@ class BatchedReplayContext(ReplayContext):
             )
         # kind == "error"
         if memo is not None and resolution.visited:
-            memo.record(resolution.visited, _MemoEntry(
+            stats.memo_evictions += memo.record(resolution.visited, _MemoEntry(
                 "error", error=resolution.error,
             ))
         return BatchReplayResult(spec=spec, error=resolution.error, via="error")

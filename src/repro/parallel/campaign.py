@@ -108,7 +108,12 @@ def _worker_injector(
         from repro.workloads.registry import get_workload
 
         workload = get_workload(workload_name, **workload_kwargs)
-        injector = DeterministicFaultInjector(workload)
+        # the trace digest keys the persisted convergence-memo artifact, so
+        # every worker of a campaign (and every resumed campaign) warm-starts
+        # from the entries earlier replays already learned
+        injector = DeterministicFaultInjector(
+            workload, memo_key=trace_digest(workload_name, workload_kwargs)
+        )
         _WORKER_INJECTORS[key] = injector
     return injector
 
@@ -148,19 +153,27 @@ def _inject_chunk(
     List[Tuple[FaultSpec, str, str]],
     Dict[str, int],
     Optional[Dict[str, object]],
+    Optional[Dict[str, object]],
 ]:
     # One injector per (worker process, workload): the golden run and the
     # checkpoint schedule are computed once, and the whole chunk is
     # submitted to the batched replay scheduler in one go (grouped by
     # snapshot interval, shared suffix walk, convergence memo).  The second
     # element is the scheduler's counter delta for this chunk, the third
-    # the worker's metrics-registry delta.
+    # the worker's metrics-registry delta, the fourth the delta of
+    # convergence-memo entries this chunk learned (merged + persisted by
+    # the parent so later workers and resumed campaigns warm-start).
     injector = _worker_injector(workload_name, workload_kwargs)
     results = [
         (result.spec, result.outcome.value, result.detail)
         for result in injector.inject_many(specs)
     ]
-    return results, injector.consume_batch_stats(), _chunk_metrics_delta()
+    return (
+        results,
+        injector.consume_batch_stats(),
+        _chunk_metrics_delta(),
+        injector.consume_memo_delta(),
+    )
 
 
 #: Per-worker-process columnar-trace cache, keyed by artifact path.  A
@@ -232,6 +245,13 @@ class CampaignRunner:
     last_batch_stats: Dict[str, int] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    #: Convergence-memo entries the most recent :meth:`run_injections`
+    #: call learned (worker chunk deltas merged; ``None`` when nothing
+    #: new).  Callers persist it via
+    #: :meth:`repro.tracing.cache.MemoCache.merge_store`.
+    last_memo_delta: Optional[Dict[str, object]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # golden-trace artifact
@@ -280,13 +300,14 @@ class CampaignRunner:
         """
         specs = list(specs)
         self.last_batch_stats = {}
+        self.last_memo_delta = None
         if not specs:
             return []
         if self.workers <= 1 or len(specs) < 4:
             try:
                 # in-process: the metrics delta is already in this
                 # process's registry, so it is discarded, not merged
-                raw, stats, _ = _inject_chunk(
+                raw, stats, _, memo_delta = _inject_chunk(
                     self.workload_name, self.workload_kwargs, specs
                 )
             except Exception as exc:
@@ -294,6 +315,7 @@ class CampaignRunner:
             if on_progress is not None:
                 on_progress(1, 1)
             self._merge_stats(stats)
+            self._merge_memo(memo_delta)
             return _wrap(raw)
         chunks = [c for c in chunk_evenly(specs, self.workers) if c]
         per_chunk = self._collect(
@@ -303,15 +325,24 @@ class CampaignRunner:
             on_progress,
         )
         results: List[FaultInjectionResult] = []
-        for raw, stats, delta in per_chunk:
+        for raw, stats, delta, memo_delta in per_chunk:
             results.extend(_wrap(raw))
             self._merge_stats(stats)
             self._fold_metrics(delta)
+            self._merge_memo(memo_delta)
         return results
 
     def _merge_stats(self, stats: Dict[str, int]) -> None:
         for key, value in stats.items():
             self.last_batch_stats[key] = self.last_batch_stats.get(key, 0) + value
+
+    def _merge_memo(self, delta: Optional[Dict[str, object]]) -> None:
+        from repro.core.replay import ReplayMemo
+
+        if delta:
+            self.last_memo_delta = ReplayMemo.merge_payloads(
+                self.last_memo_delta, delta
+            )
 
     @staticmethod
     def _fold_metrics(delta: Optional[Dict[str, object]]) -> None:

@@ -132,3 +132,110 @@ class TraceCache:
         trace = build()
         self.store(digest, trace)
         return trace, False
+
+
+class MemoCache:
+    """Filesystem cache of persisted convergence-memo artifacts.
+
+    The :class:`~repro.core.replay.ReplayMemo` a batched replay context
+    grows is a pure function of the trace it replays against and the engine
+    dispatch strategy, so its serialised form can live next to the
+    golden-trace artifact and warm-start every later consumer of the same
+    trace: campaign worker processes, resumed campaigns, and ``protect
+    validate`` reruns.  Artifacts are keyed by trace digest + engine
+    backend + memo format version (``{digest}.memo.{backend}.v{N}.json``);
+    any mismatch simply misses — memos are an accelerator, never a
+    correctness input.
+
+    The cache directory comes from ``REPRO_MEMO_CACHE`` and *defaults to
+    following* ``REPRO_TRACE_CACHE`` (same directory, same ``off``
+    values), so existing configurations pick up memo persistence without a
+    second knob.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+
+    @classmethod
+    def from_env(cls) -> Optional["MemoCache"]:
+        """The cache configured by ``REPRO_MEMO_CACHE`` (``None`` = off).
+
+        Unset falls back to ``REPRO_TRACE_CACHE`` (then to the default
+        trace-cache directory), so the memo artifact sits next to the
+        golden trace it belongs to unless explicitly redirected.
+        """
+        raw = os.environ.get("REPRO_MEMO_CACHE")
+        if raw is None:
+            raw = os.environ.get("REPRO_TRACE_CACHE")
+        if raw is not None and raw.strip().lower() in _DISABLED:
+            return None
+        return cls(raw.strip() if raw else DEFAULT_CACHE_DIR)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, digest: str, backend: str) -> Path:
+        from repro.core.replay import MEMO_FORMAT_VERSION
+
+        return self.root / (
+            f"{digest}.memo.{backend}.v{MEMO_FORMAT_VERSION}.json"
+        )
+
+    def load(self, digest: str, backend: str) -> Optional[Dict[str, object]]:
+        """The persisted payload for ``(digest, backend)``, or ``None``.
+
+        Unreadable, corrupt, or format-mismatched artifacts all read as a
+        cold memo — the file name pins backend and version, but a payload
+        rewritten by a different process is still re-checked here.
+        """
+        from repro.core.replay import MEMO_FORMAT_VERSION
+
+        path = self.path_for(digest, backend)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != MEMO_FORMAT_VERSION
+            or payload.get("backend", backend) != backend
+        ):
+            return None
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("replay.memo_persist_loads")
+        return payload
+
+    def store(self, digest: str, backend: str,
+              payload: Dict[str, object]) -> Path:
+        """Atomically persist ``payload`` (last rename wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(digest, backend)
+        stamped = dict(payload)
+        stamped["backend"] = backend
+        stamped["trace"] = digest
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(stamped, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path
+
+    def merge_store(self, digest: str, backend: str,
+                    delta: Optional[Dict[str, object]]) -> Optional[Path]:
+        """Fold a learned delta into the persisted artifact and rewrite it.
+
+        Reads the current artifact, merges (existing entries win, so
+        concurrent merges of disjoint worker deltas commute), and writes
+        back atomically.  A ``None``/empty delta is a no-op.
+        """
+        from repro.core.replay import ReplayMemo
+
+        if not delta or not delta.get("keys"):
+            return None
+        base = self.load(digest, backend)
+        merged = ReplayMemo.merge_payloads(base, delta)
+        if merged is None or merged is base:
+            return None
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.inc("replay.memo_persist_merges")
+        return self.store(digest, backend, merged)

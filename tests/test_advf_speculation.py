@@ -1,0 +1,190 @@
+"""Speculative batched injection resolution: parity oracle + telemetry.
+
+The speculation scheduler's acceptance bar is *bit identity*: an aDVF
+analysis with any speculation window must reproduce the sequential
+(``speculation_window=0``) report exactly — same aDVF value, masking
+breakdowns, injection counts and outcome histograms, cache statistics.
+Budget decisions are count-based, so organically predictions never miss;
+the forced-misprediction tests patch the predictor to exercise the
+discard / sequential-replay paths in both directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.advf as advf
+from repro.core.advf import (
+    DEFAULT_SPECULATION_WINDOW,
+    AdvfEngine,
+    AnalysisConfig,
+    resolved_speculation_window,
+)
+from repro.core.injector import DeterministicFaultInjector
+from repro.core.replay import ReplayContext
+from repro.core.sites import enumerate_fault_sites
+from repro.obs.metrics import configure, registry
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Every test starts with an enabled, empty process registry."""
+    configure(True)
+    yield
+    configure(None)
+
+
+#: Reduced problem sizes so analyses with injection stay fast.
+SMALL_KWARGS = {
+    "matmul": {"n": 5},
+    "cg": {"n": 10, "cgitmax": 2},
+}
+
+
+def _analyze(name, window, **config_kwargs):
+    """One full aDVF analysis at the given speculation window."""
+    workload = get_workload(name, **SMALL_KWARGS.get(name, {}))
+    engine = AdvfEngine(
+        workload,
+        AnalysisConfig(
+            use_injection=True, speculation_window=window, **config_kwargs
+        ),
+    )
+    return engine, engine.analyze()
+
+
+def _assert_identical(sequential, speculative):
+    assert sequential.objects.keys() == speculative.objects.keys()
+    for name, report in sequential.objects.items():
+        assert report.to_dict() == speculative.objects[name].to_dict(), (
+            f"speculation diverged on {name}"
+        )
+
+
+def _counter_total(name):
+    return sum(
+        entry["value"]
+        for entry in registry().to_dict()["counters"]
+        if entry["name"] == name
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", ["matmul", "cg"])
+    def test_reports_identical_to_sequential(self, name):
+        _, sequential = _analyze(name, window=0)
+        engine, speculative = _analyze(name, window=8)
+        _assert_identical(sequential, speculative)
+        # the speculative run actually speculated (predictions all held)
+        assert engine.speculation_stats.get("speculated", 0) > 0
+        assert engine.speculation_stats.get("spec_windows", 0) >= 1
+        assert engine.speculation_stats.get("spec_mispredictions", 0) == 0
+
+    def test_window_size_does_not_change_reports(self):
+        _, base = _analyze("matmul", window=1)
+        for window in (3, 17, 10_000):
+            _, other = _analyze("matmul", window=window)
+            _assert_identical(base, other)
+
+    def test_rerun_mode_never_speculates(self):
+        engine, _ = _analyze(
+            "matmul", window=8, injection_mode="rerun"
+        )
+        assert engine.speculation_stats == {}
+
+
+class TestTelemetry:
+    def test_registry_counters_match_engine_stats(self):
+        engine, _ = _analyze("cg", window=8)
+        stats = engine.speculation_stats
+        assert _counter_total("advf.speculated") == stats["speculated"]
+        assert _counter_total("advf.speculation_windows") == stats["spec_windows"]
+        assert _counter_total("advf.speculation_discards") == stats.get(
+            "spec_discards", 0
+        )
+
+    def test_injector_folds_speculation_into_batch_stats(self):
+        engine, _ = _analyze("cg", window=8)
+        delta = engine._injector.consume_batch_stats()
+        assert delta["speculated"] == engine.speculation_stats["speculated"]
+        assert delta["spec_windows"] == engine.speculation_stats["spec_windows"]
+        # consumed: the next delta starts from zero again
+        follow_up = engine._injector.consume_batch_stats()
+        assert follow_up.get("speculated", 0) == 0
+
+
+class TestForcedMispredictions:
+    def test_overspeculation_discards_and_stays_identical(self, monkeypatch):
+        """Predictor forced optimistic: every candidate is speculated, the
+        apply phase discards everything the real budget rejects."""
+        _, sequential = _analyze("cg", window=0)
+        monkeypatch.setattr(
+            advf._SpeculativeResolver, "_predict_inject", lambda self, key: True
+        )
+        engine, speculative = _analyze("cg", window=8)
+        _assert_identical(sequential, speculative)
+        stats = engine.speculation_stats
+        assert stats["spec_discards"] > 0
+        assert stats["speculated"] > stats["spec_discards"] > 0
+
+    def test_underspeculation_replays_sequentially_and_stays_identical(
+        self, monkeypatch
+    ):
+        """Predictor forced pessimistic: nothing is speculated, every
+        in-budget candidate resolves by a sequential injection at apply."""
+        _, sequential = _analyze("cg", window=0)
+        monkeypatch.setattr(
+            advf._SpeculativeResolver, "_predict_inject", lambda self, key: False
+        )
+        engine, speculative = _analyze("cg", window=8)
+        _assert_identical(sequential, speculative)
+        stats = engine.speculation_stats
+        assert stats.get("speculated", 0) == 0
+        assert stats["spec_mispredictions"] > 0
+
+
+class TestWindowResolution:
+    def test_config_knob_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADVF_SPECULATION", "64")
+        assert resolved_speculation_window(
+            AnalysisConfig(speculation_window=5)
+        ) == 5
+        assert resolved_speculation_window(
+            AnalysisConfig(speculation_window=0)
+        ) == 0
+
+    def test_environment_values(self, monkeypatch):
+        config = AnalysisConfig()
+        monkeypatch.delenv("REPRO_ADVF_SPECULATION", raising=False)
+        assert resolved_speculation_window(config) == DEFAULT_SPECULATION_WINDOW
+        monkeypatch.setenv("REPRO_ADVF_SPECULATION", "7")
+        assert resolved_speculation_window(config) == 7
+        for off in ("0", "off", "NONE", " disabled "):
+            monkeypatch.setenv("REPRO_ADVF_SPECULATION", off)
+            assert resolved_speculation_window(config) == 0
+        monkeypatch.setenv("REPRO_ADVF_SPECULATION", "bogus")
+        assert resolved_speculation_window(config) == DEFAULT_SPECULATION_WINDOW
+
+    def test_disabled_window_takes_sequential_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADVF_SPECULATION", "off")
+        engine, _ = _analyze("matmul", window=None)
+        assert engine.speculation_stats == {}
+
+
+class TestSequentialFallbackMetrics:
+    def test_plain_context_batches_counter_increments(self):
+        """A caller-supplied plain ReplayContext keeps the sequential
+        inject loop, but its per-replay counters are batched through
+        ``deferred_metrics`` — totals match one inc per replay."""
+        workload = get_workload("matmul", n=5)
+        context = ReplayContext(workload)
+        injector = DeterministicFaultInjector(workload, context=context)
+        trace = workload.traced_run().trace
+        specs = [
+            site.to_spec()
+            for site in enumerate_fault_sites(trace, "C", bit_stride=16)
+        ][:6]
+        results = injector.inject_many(specs)
+        assert len(results) == len(specs)
+        assert _counter_total("replay.sequential") == len(specs)
