@@ -8,7 +8,9 @@ on):
   the engine's telemetry flush in ``_loop`` is skipped entirely;
 * **on**: the default enabled registry — per-segment counts accumulate
   in local ints and flush to the process registry once per ``_loop``
-  call.
+  call — plus the flight recorder: span recording is enabled, every
+  golden run is wrapped in a recorded span, and the buffered records are
+  drained exactly as campaign workers ship them.
 
 Acceptance bar: the instrumented run must stay within **3%** of the
 disabled run (geometric mean across workloads).  Results land in
@@ -35,6 +37,13 @@ except ModuleNotFoundError:  # standalone script run from a source checkout
 
 from repro.obs.log import provenance
 from repro.obs.metrics import configure, registry
+from repro.obs.spans import (
+    disable_recording,
+    drain_span_records,
+    enable_recording,
+    recording_enabled,
+    span,
+)
 from repro.vm.engine import Engine
 from repro.workloads.registry import get_workload, workload_names
 
@@ -62,26 +71,43 @@ def _golden(workload):
 SAMPLE_FLOOR_S = 0.02
 
 
-def _sample(workload, inner):
+def _sample(workload, inner, name=None):
+    """Time ``inner`` golden runs; with ``name``, each run is a recorded span."""
     start = time.perf_counter()
-    for _ in range(inner):
-        _golden(workload)
+    if name is None:
+        for _ in range(inner):
+            _golden(workload)
+    else:
+        for _ in range(inner):
+            with span("bench.golden", workload=name):
+                _golden(workload)
     return (time.perf_counter() - start) / inner
 
 
-def _paired_times(workload, inner):
+def _paired_times(workload, inner, name):
     """Alternate modes and ratio each adjacent pair, cancelling load drift.
 
-    Returns (best_off_s, best_on_s, median_pair_ratio); the median of the
-    per-pair on/off ratios is far less noisy than a ratio of two best-of
-    times, because both halves of each pair run back to back.
+    Returns (best_off_s, best_on_s, median_pair_ratio, recorded_spans); the
+    median of the per-pair on/off ratios is far less noisy than a ratio of
+    two best-of times, because both halves of each pair run back to back.
+    The instrumented half carries the full flight-recorder path: recording
+    on, a span around every run, the buffer drained after every sample.
     """
     offs, ons = [], []
-    for _ in range(REPEATS):
-        configure(False)
-        offs.append(_sample(workload, inner))
-        configure(True)
-        ons.append(_sample(workload, inner))
+    recorded = 0
+    was_recording = recording_enabled()
+    enable_recording()
+    drain_span_records()
+    try:
+        for _ in range(REPEATS):
+            configure(False)
+            offs.append(_sample(workload, inner))
+            configure(True)
+            ons.append(_sample(workload, inner, name=name))
+            recorded += len(drain_span_records())
+    finally:
+        if not was_recording:
+            disable_recording()
     ratios = sorted(on / off for on, off in zip(ons, offs))
     mid = len(ratios) // 2
     median = (
@@ -89,7 +115,7 @@ def _paired_times(workload, inner):
         if len(ratios) % 2
         else (ratios[mid - 1] + ratios[mid]) / 2.0
     )
-    return min(offs), min(ons), median
+    return min(offs), min(ons), median, recorded
 
 
 def measure_workload(name):
@@ -101,7 +127,7 @@ def measure_workload(name):
     # Batch sub-millisecond workloads so each sample clears the timer noise.
     inner = max(1, int(math.ceil(SAMPLE_FLOOR_S / max(single_s, 1e-9))))
     try:
-        off_s, on_s, overhead = _paired_times(workload, inner)
+        off_s, on_s, overhead, recorded = _paired_times(workload, inner, name)
         counted = registry().counter_total("engine.ops")
     finally:
         configure(None)  # back to the REPRO_METRICS-driven default
@@ -109,12 +135,17 @@ def measure_workload(name):
         f"{name}: instrumented run counted {counted} engine.ops "
         f"for {steps} executed steps"
     )
+    assert recorded == REPEATS * inner, (
+        f"{name}: flight recorder captured {recorded} spans "
+        f"for {REPEATS * inner} instrumented runs"
+    )
     return {
         "workload": name,
         "steps": steps,
         "off_s": off_s,
         "on_s": on_s,
         "overhead": overhead,
+        "recorded_spans": recorded,
     }
 
 

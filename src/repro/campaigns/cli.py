@@ -8,8 +8,16 @@ Subcommands::
     repro campaign export TARGET [--out FILE]           JSONL dump of the store rows
     repro campaign report TARGET [options]              aDVF tables (from the store)
     repro stats TARGET [--promfile FILE]                telemetry tables (from the store)
+    repro timeline TARGET [--run N]                     flight-recorder waterfall (from the store)
+    repro obs serve [--port N]                          live HTTP observability endpoint
+    repro bench check [--tolerance F]                   bench-regression watchdog
     repro protect plan|apply|validate|report ...        selective protection
     repro workloads                                     list registered workloads
+
+``campaign run``/``resume`` accept ``--serve [PORT]`` (or the
+``REPRO_OBS_PORT`` environment variable) to start the observability
+endpoint in-process, so a running campaign is scrapeable at
+``/metrics`` and watchable at ``/events`` while it executes.
 
 ``TARGET`` is either a campaign id (``c0123abcd…`` as printed by ``run``)
 or a workload name combined with ``--plan`` — the content-addressed id is
@@ -27,6 +35,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.campaigns.orchestrator import (
@@ -47,6 +56,7 @@ from repro.reporting import (
     format_outcome_table,
     format_shard_table,
     format_table,
+    format_timeline,
 )
 from repro.workloads.registry import validate_workload, workload_summaries
 
@@ -91,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="worker processes (default: $REPRO_WORKERS or cores-1)")
             p.add_argument("--max-shards", type=int, default=None,
                            help="execute at most N shards this run (smoke/interrupt)")
+            p.add_argument("--serve", nargs="?", const=0, type=int, default=None,
+                           metavar="PORT",
+                           help="serve the live observability endpoint while the "
+                                "campaign runs (bare --serve: $REPRO_OBS_PORT or "
+                                "the default port)")
 
     def target_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("target", help="campaign id, or workload name (with --plan)")
@@ -155,6 +170,49 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the merged metrics as a Prometheus "
                             "textfile (node-exporter collector format)")
     common(stats)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="flight-recorder waterfall: per-shard span timings from the store",
+    )
+    target_args(timeline)
+    timeline.add_argument("--run", type=int, default=None,
+                          help="show one orchestrator run only (default: all)")
+    timeline.add_argument("--width", type=int, default=40,
+                          help="timeline bar width in characters (default 40)")
+    timeline.add_argument("--limit", type=int, default=None,
+                          help="show at most N spans per run")
+    common(timeline)
+
+    obs = sub.add_parser("obs", help="live observability endpoint")
+    osub = obs.add_subparsers(dest="action", required=True)
+    serve = osub.add_parser(
+        "serve",
+        help="serve /metrics, /healthz, /campaigns and SSE /events over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="port (default: $REPRO_OBS_PORT or 9208; 0 = ephemeral)")
+    common(serve)
+
+    bench = sub.add_parser("bench", help="bench-regression watchdog")
+    bsub = bench.add_subparsers(dest="action", required=True)
+    check = bsub.add_parser(
+        "check",
+        help="re-run watched benchmarks against the committed BENCH_*.json "
+             "baselines; exit nonzero on regression past tolerance",
+    )
+    check.add_argument("--tolerance", type=float, default=None,
+                       help="relative regression tolerance (default 0.2 = 20%%)")
+    check.add_argument("--bench", action="append", default=None,
+                       metavar="NAME",
+                       help="benchmark to check (repeatable; default: all watched)")
+    check.add_argument("--update", action="store_true",
+                       help="rewrite the baseline measurements from the fresh run "
+                            "(history is kept either way)")
+    check.add_argument("--no-record", action="store_true",
+                       help="compare only; do not append a history entry")
 
     protect_cli.register(sub, common)
 
@@ -227,8 +285,37 @@ def _print_result(store: CampaignStore, result) -> None:
 
 
 # --------------------------------------------------------------------- #
-# subcommand implementations
+# in-process observability endpoint (campaign run/resume --serve)
 # --------------------------------------------------------------------- #
+def _maybe_serve(args, store_path: str):
+    """Start the observability endpoint next to a campaign, if requested.
+
+    ``--serve PORT`` binds that port; bare ``--serve`` (or just setting
+    ``REPRO_OBS_PORT``) uses the environment's port or the default.
+    Returns the running server, or ``None`` when serving is off.
+    """
+    env_port = os.environ.get("REPRO_OBS_PORT")
+    if getattr(args, "serve", None) is None and not env_port:
+        return None
+    from repro.obs.serve import DEFAULT_PORT, ObsServer
+
+    port = args.serve if args.serve else int(env_port or DEFAULT_PORT)
+    server = ObsServer(port=port, store_path=store_path).start()
+    print(f"observability endpoint: {server.url}", file=sys.stderr)
+    return server
+
+
+def _stop_server(server) -> None:
+    """Stop the in-process endpoint, honouring the ``REPRO_OBS_GRACE``
+    linger (seconds) so scrapers can still read the finished campaign."""
+    if server is None:
+        return
+    grace = float(os.environ.get("REPRO_OBS_GRACE", "0") or 0)
+    if grace > 0:
+        time.sleep(grace)
+    server.stop()
+
+
 def _cmd_run(args) -> int:
     with _open_store(args) as store:
         plan = _parse_plan_arg(args)
@@ -240,8 +327,12 @@ def _cmd_run(args) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
         )
-        result = orchestrator.run(max_shards=args.max_shards)
-        _print_result(store, result)
+        server = _maybe_serve(args, store.path)
+        try:
+            result = orchestrator.run(max_shards=args.max_shards)
+            _print_result(store, result)
+        finally:
+            _stop_server(server)
     return 0
 
 
@@ -253,8 +344,12 @@ def _cmd_resume(args) -> int:
             campaign_id,
             workers=args.workers,
         )
-        result = orchestrator.run(max_shards=args.max_shards)
-        _print_result(store, result)
+        server = _maybe_serve(args, store.path)
+        try:
+            result = orchestrator.run(max_shards=args.max_shards)
+            _print_result(store, result)
+        finally:
+            _stop_server(server)
     return 0
 
 
@@ -391,6 +486,83 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_timeline(args) -> int:
+    with _open_store(args) as store:
+        campaign_id = _resolve_campaign_id(store, args)
+        spans = store.run_spans(campaign_id, run_id=args.run)
+        print(f"campaign {campaign_id}: {len(spans)} recorded spans")
+        records = [
+            {
+                "run_id": span.run_id,
+                "name": span.name,
+                "depth": span.depth,
+                "pid": span.pid,
+                "shard_index": span.shard_index,
+                "start_ts": span.start_ts,
+                "duration_s": span.duration_s,
+                "labels": span.labels,
+            }
+            for span in spans
+        ]
+        print(format_timeline(records, width=args.width, limit=args.limit))
+    return 0
+
+
+def _cmd_obs_serve(args) -> int:
+    from repro.obs.serve import DEFAULT_PORT, ObsServer
+
+    port = args.port
+    if port is None:
+        port = int(os.environ.get("REPRO_OBS_PORT") or DEFAULT_PORT)
+    store_path = args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+    server = ObsServer(host=args.host, port=port, store_path=store_path)
+    server.start()
+    print(
+        f"serving observability endpoint on {server.url} "
+        f"(store {store_path!r}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    from repro.obs.bench import (
+        DEFAULT_TOLERANCE,
+        check_benches,
+        format_reports,
+    )
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    reports = check_benches(
+        args.bench,
+        tolerance=tolerance,
+        update=args.update,
+        record=not args.no_record,
+    )
+    print(format_reports(reports))
+    regressed = [report.name for report in reports if report.regressed]
+    if regressed:
+        print(
+            f"bench regression past tolerance {tolerance:.0%}: "
+            f"{', '.join(regressed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench check ok ({len(reports)} benchmarks within "
+        f"{tolerance:.0%} of baseline)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_export(args) -> int:
     with _open_store(args) as store:
         campaign_id = _resolve_campaign_id(store, args)
@@ -448,6 +620,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_workloads()
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "timeline":
+            return _cmd_timeline(args)
+        if args.command == "obs":
+            return _cmd_obs_serve(args)
+        if args.command == "bench":
+            return _cmd_bench_check(args)
         if args.command == "protect":
             return protect_cli.dispatch(
                 args,

@@ -34,7 +34,14 @@ from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.obs.log import get_logger
 from repro.obs.metrics import registry as _metrics_registry
-from repro.obs.spans import span
+from repro.obs.spans import (
+    disable_recording,
+    drain_span_records,
+    enable_recording,
+    recording_enabled,
+    set_span_context,
+    span,
+)
 from repro.parallel.campaign import CampaignRunner, _default_workers
 from repro.parallel.partition import chunk_evenly
 from repro.tracing.cache import MemoCache, TraceCache, trace_digest
@@ -239,6 +246,13 @@ class CampaignOrchestrator:
             # this run's activity (worker-process deltas fold in as the
             # runner merges them)
             reg.snapshot_delta(self._run_cursor)
+        # Flight recorder: buffer finished spans for the store; discard any
+        # records predating this run, and stamp the correlation ids that
+        # fork-started worker processes inherit.
+        was_recording = recording_enabled()
+        enable_recording()
+        drain_span_records()
+        set_span_context(campaign=self.campaign_id, run=run_id)
 
         counters = _RunCounters()
         status = "failed"
@@ -273,7 +287,13 @@ class CampaignOrchestrator:
             self.store.finish_run(
                 self.campaign_id, run_id, counters.executed, counters.skipped
             )
+            # the campaign.run span (and any other run-scoped spans) closed
+            # above, so this final flush captures them as orphan rows
+            self._persist_spans(run_id)
             self._close_runner()
+            set_span_context(campaign=None, run=None)
+            if not was_recording:
+                disable_recording()
             if reg.enabled:
                 self.store.save_run_metrics(
                     self.campaign_id, run_id, reg.snapshot_delta(self._run_cursor)
@@ -445,7 +465,11 @@ class CampaignOrchestrator:
                 list(task.specs)
             )
         duration = time.perf_counter() - start
-        self._persist_memo(memo_delta)
+        if memo_delta:
+            with span(
+                "campaign.memo_merge", shard=task.index, object=task.object_name
+            ):
+                self._persist_memo(memo_delta)
         self.store.record_shard(
             self.campaign_id,
             task.index,
@@ -470,7 +494,31 @@ class CampaignOrchestrator:
             injections=len(results),
             duration_s=duration,
         )
+        self._persist_spans(run_id, shard_index=task.index)
         return results
+
+    def _persist_spans(
+        self, run_id: int, shard_index: Optional[int] = None
+    ) -> None:
+        """Flush buffered flight-recorder spans to the store.
+
+        Worker-shipped records (which cannot know their shard) are stamped
+        with ``shard_index`` before persisting; records from this process
+        either carry their own ``shard`` label (``campaign.shard``,
+        ``campaign.memo_merge``) or are run-scoped phases — trace
+        acquisition, analysis passes — that persist as orphan rows
+        (``shard_index = -1``)."""
+        records: List[Dict[str, object]] = []
+        if self._runner is not None and self._runner.last_span_records:
+            for record in self._runner.last_span_records:
+                if shard_index is not None:
+                    labels = record.setdefault("labels", {})
+                    labels.setdefault("shard", str(shard_index))
+                records.append(record)
+            self._runner.last_span_records = []
+        records.extend(drain_span_records())
+        if records:
+            self.store.save_run_spans(self.campaign_id, run_id, records)
 
     def _execute_specs(
         self, specs: List[FaultSpec]

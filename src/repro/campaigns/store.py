@@ -22,9 +22,9 @@ Design points:
   creation and checked on open; older stores are migrated in place (v2
   only adds defaulted columns, v3 only adds the protection tables, v4
   adds defaulted replay-batch columns, v5 adds the ``run_metrics`` table
-  and a defaulted version column, v6 adds defaulted speculation columns),
-  any other mismatch raises :class:`StoreVersionError` instead of
-  silently misreading rows.
+  and a defaulted version column, v6 adds defaulted speculation columns,
+  v7 adds the ``run_spans`` table), any other mismatch raises
+  :class:`StoreVersionError` instead of silently misreading rows.
 * **Protection rows (v3).**  The selective-protection subsystem
   (:mod:`repro.protection`) persists its advisor plans
   (``protection_plans``) and the closed-loop validation campaigns run
@@ -46,6 +46,14 @@ Design points:
   ``spec_windows``) next to the replay-batch columns, so
   ``campaign status`` can show how much of a shard's injection work ran
   speculatively and how much speculation was discarded.
+* **Run spans (v7).**  The campaign flight recorder: every finished span
+  an orchestrator run (or its worker processes) records lands in
+  ``run_spans`` — name, parent, nesting depth, recording pid, the shard
+  the span belongs to (``-1`` for run-scoped "orphan" spans such as trace
+  acquisition), wall-clock start and duration, and the full correlation
+  label set as JSON.  ``python -m repro timeline`` renders the per-shard
+  phase waterfall entirely from these rows, so the time structure of a
+  campaign survives process exit exactly like its counters do.
 """
 
 from __future__ import annotations
@@ -65,7 +73,7 @@ from repro.obs.metrics import merge_snapshots
 from repro.version import __version__ as _REPRO_VERSION
 from repro.vm.faults import FaultSpec, FaultTarget
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -148,6 +156,20 @@ CREATE TABLE IF NOT EXISTS run_metrics (
     repro_version TEXT NOT NULL DEFAULT '',
     recorded_at   REAL NOT NULL,
     PRIMARY KEY (campaign_id, run_id)
+);
+CREATE TABLE IF NOT EXISTS run_spans (
+    campaign_id TEXT NOT NULL,
+    run_id      INTEGER NOT NULL,
+    seq         INTEGER NOT NULL,
+    name        TEXT NOT NULL,
+    parent      TEXT NOT NULL DEFAULT '',
+    depth       INTEGER NOT NULL DEFAULT 0,
+    pid         INTEGER NOT NULL DEFAULT 0,
+    shard_index INTEGER NOT NULL DEFAULT -1,
+    start_ts    REAL NOT NULL,
+    duration_s  REAL NOT NULL,
+    labels      TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (campaign_id, run_id, seq)
 );
 CREATE TABLE IF NOT EXISTS validation_runs (
     plan_id     TEXT NOT NULL,
@@ -271,6 +293,31 @@ class StoredOutcome:
 
 
 @dataclass(frozen=True)
+class SpanRecord:
+    """One persisted flight-recorder span (a ``run_spans`` row, v7)."""
+
+    run_id: int
+    seq: int
+    name: str
+    parent: str
+    depth: int
+    #: Pid of the process that recorded the span (orchestrator or worker).
+    pid: int
+    #: Shard the span executed for; ``-1`` for run-scoped spans (trace
+    #: acquisition, analysis, memo merge) that belong to no single shard.
+    shard_index: int
+    #: Wall-clock start — the cross-process timeline coordinate.
+    start_ts: float
+    duration_s: float
+    #: Correlation labels (campaign/run/shard/caller labels) as recorded.
+    labels: Dict[str, str]
+
+    @property
+    def end_ts(self) -> float:
+        return self.start_ts + self.duration_s
+
+
+@dataclass(frozen=True)
 class ProtectionPlanRecord:
     """One row of the ``protection_plans`` table (v3)."""
 
@@ -363,6 +410,8 @@ class CampaignStore:
                 version = self._migrate_v4_to_v5()
             if version == 5:
                 version = self._migrate_v5_to_v6()
+            if version == 6:
+                version = self._migrate_v6_to_v7()
             if version != SCHEMA_VERSION:
                 raise StoreVersionError(
                     f"store {self.path!r} has schema version {row[0]}, "
@@ -464,6 +513,15 @@ class CampaignStore:
             "UPDATE meta SET value = '6' WHERE key = 'schema_version'"
         )
         return 6
+
+    def _migrate_v6_to_v7(self) -> int:
+        """v6 → v7: only adds the (empty) ``run_spans`` table, which the
+        ``CREATE TABLE IF NOT EXISTS`` schema script has already created;
+        pre-v7 campaigns simply have no flight-recorder rows yet."""
+        self._conn.execute(
+            "UPDATE meta SET value = '7' WHERE key = 'schema_version'"
+        )
+        return 7
 
     @property
     def schema_version(self) -> int:
@@ -650,6 +708,95 @@ class CampaignStore:
         observing the whole campaign would have recorded.
         """
         return merge_snapshots(*self.run_metrics(campaign_id).values())
+
+    # ------------------------------------------------------------------ #
+    # run spans — the flight recorder (schema v7)
+    # ------------------------------------------------------------------ #
+    def save_run_spans(
+        self,
+        campaign_id: str,
+        run_id: int,
+        records: Sequence[Dict[str, object]],
+    ) -> int:
+        """Append finished-span records (from
+        :func:`repro.obs.spans.drain_span_records`) to a run's flight
+        recording; returns the number of rows written.
+
+        The shard a span belongs to is read from its ``shard`` correlation
+        label; records with no such label persist with ``shard_index=-1``
+        (orphan spans — run-scoped phases like trace acquisition).
+        Sequence numbers continue from the run's current maximum, so the
+        orchestrator can flush per shard without coordinating a counter.
+        """
+        if not records:
+            return 0
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), -1) FROM run_spans "
+                "WHERE campaign_id = ? AND run_id = ?",
+                (campaign_id, run_id),
+            ).fetchone()
+            seq = int(row[0]) + 1
+            rows = []
+            for record in records:
+                labels = dict(record.get("labels") or {})
+                try:
+                    shard_index = int(labels.get("shard", -1))
+                except (TypeError, ValueError):
+                    shard_index = -1
+                rows.append(
+                    (
+                        campaign_id,
+                        run_id,
+                        seq,
+                        str(record["name"]),
+                        str(record.get("parent") or ""),
+                        int(record.get("depth") or 0),
+                        int(record.get("pid") or 0),
+                        shard_index,
+                        float(record["start_ts"]),
+                        float(record["duration_s"]),
+                        _canonical_json(labels),
+                    )
+                )
+                seq += 1
+            self._conn.executemany(
+                "INSERT INTO run_spans (campaign_id, run_id, seq, name, "
+                "parent, depth, pid, shard_index, start_ts, duration_s, "
+                "labels) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def run_spans(
+        self, campaign_id: str, run_id: Optional[int] = None
+    ) -> List[SpanRecord]:
+        """A campaign's flight recording (optionally one run's), ordered
+        ``(run_id, seq)`` — i.e. in persistence order within each run."""
+        query = (
+            "SELECT run_id, seq, name, parent, depth, pid, shard_index, "
+            "start_ts, duration_s, labels FROM run_spans WHERE campaign_id = ?"
+        )
+        params: List[object] = [campaign_id]
+        if run_id is not None:
+            query += " AND run_id = ?"
+            params.append(run_id)
+        query += " ORDER BY run_id, seq"
+        return [
+            SpanRecord(
+                run_id=int(row[0]),
+                seq=int(row[1]),
+                name=row[2],
+                parent=row[3],
+                depth=int(row[4]),
+                pid=int(row[5]),
+                shard_index=int(row[6]),
+                start_ts=row[7],
+                duration_s=row[8],
+                labels=json.loads(row[9]),
+            )
+            for row in self._conn.execute(query, params)
+        ]
 
     # ------------------------------------------------------------------ #
     # shards + outcomes (the append-only core)
@@ -1041,4 +1188,20 @@ class CampaignStore:
             emit({"type": "report", "object": object_name, "report": report.to_dict()})
         for run_id, metrics in self.run_metrics(campaign_id).items():
             emit({"type": "run_metrics", "run_id": run_id, "metrics": metrics})
+        for span in self.run_spans(campaign_id):
+            emit(
+                {
+                    "type": "run_span",
+                    "run_id": span.run_id,
+                    "seq": span.seq,
+                    "span": span.name,
+                    "parent": span.parent,
+                    "depth": span.depth,
+                    "pid": span.pid,
+                    "shard_index": span.shard_index,
+                    "start_ts": span.start_ts,
+                    "duration_s": span.duration_s,
+                    "labels": span.labels,
+                }
+            )
         return lines

@@ -14,31 +14,55 @@ Quick tour::
         ...                                  # timed, nestable, exported
     get_logger("campaign").info("shard.done", "shard 7 finished", shard=7)
 
+On top of the in-process primitives sit three durable/live surfaces:
+
+* the **flight recorder** (:mod:`repro.obs.spans` recording +
+  ``run_spans`` store rows): finished spans of a campaign run — with
+  campaign/run/shard/pid correlation labels — survive process exit and
+  render as a waterfall via ``python -m repro timeline``;
+* the **live endpoint** (:mod:`repro.obs.serve`): ``python -m repro obs
+  serve`` exposes ``/metrics`` (Prometheus text), ``/healthz``,
+  ``/campaigns`` and an SSE ``/events`` stream over stdlib HTTP;
+* the **bench watchdog** (:mod:`repro.obs.bench`): ``python -m repro
+  bench check`` gates fresh benchmark runs against the committed
+  ``BENCH_*.json`` baselines and appends history entries to them.
+
 Environment knobs:
 
 ``REPRO_METRICS``
     ``0`` / ``off`` replaces the registry with a no-op implementation;
     the engine's instrumentation then costs nothing measurable.
 ``REPRO_LOG``
-    Path of a JSONL event log receiving every structured log/span event,
-    stamped with a provenance header (repro + store schema versions).
+    JSONL event destination (``stderr``, ``-``, or a file path) receiving
+    every structured log/span event, stamped with a provenance header
+    (repro + store schema versions).
 ``REPRO_LOG_LEVEL``
     Human stderr verbosity: ``debug`` | ``info`` (default) | ``warning``
     | ``error`` | ``quiet``.
+``REPRO_LOG_MAX_BYTES``
+    Size cap on the ``REPRO_LOG`` file: exceeding it rotates the file
+    once to ``<path>.1`` and starts fresh (meta header re-written).
+``REPRO_OBS_PORT``
+    Default port of the live endpoint; setting it makes ``campaign
+    run``/``resume`` serve in-process even without ``--serve``.
 
 Worker processes record into their own process-local registry and ship
 ``registry().snapshot_delta(cursor)`` payloads to the parent, which folds
 them with ``registry().merge(delta)`` — the fold is associative and
-deterministic, so parallel campaigns aggregate exactly.
+deterministic, so parallel campaigns aggregate exactly.  Their finished
+spans travel the same road: buffered per process, drained per chunk, and
+persisted by the orchestrator.
 """
 
 from repro.obs.log import (
     LEVELS,
     StructuredLogger,
+    add_event_sink,
     emit_event,
     get_logger,
     log_level,
     provenance,
+    remove_event_sink,
 )
 from repro.obs.metrics import (
     TIME_BUCKETS,
@@ -52,15 +76,29 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.prom import render_promfile, write_promfile
-from repro.obs.spans import Span, current_span, span
+from repro.obs.spans import (
+    Span,
+    clear_span_context,
+    current_span,
+    disable_recording,
+    drain_span_records,
+    enable_recording,
+    get_span_context,
+    recording_enabled,
+    set_span_context,
+    span,
+    span_context,
+)
 
 __all__ = [
     "LEVELS",
     "StructuredLogger",
+    "add_event_sink",
     "emit_event",
     "get_logger",
     "log_level",
     "provenance",
+    "remove_event_sink",
     "TIME_BUCKETS",
     "Histogram",
     "MetricsRegistry",
@@ -73,6 +111,14 @@ __all__ = [
     "render_promfile",
     "write_promfile",
     "Span",
+    "clear_span_context",
     "current_span",
+    "disable_recording",
+    "drain_span_records",
+    "enable_recording",
+    "get_span_context",
+    "recording_enabled",
+    "set_span_context",
     "span",
+    "span_context",
 ]

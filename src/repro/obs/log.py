@@ -6,10 +6,14 @@ one logger so verbosity is controlled in one place:
 * ``REPRO_LOG_LEVEL`` (``debug`` | ``info`` | ``warning`` | ``error`` |
   ``quiet``; default ``info``) gates the human-readable stderr lines —
   quiet runs and tests stop interleaving progress prints with results;
-* ``REPRO_LOG`` names a JSONL file that receives *every* event as one
-  structured line regardless of level, stamped with a per-process
-  provenance header (repro version + store schema version) so exported
-  event logs can be diffed across releases.
+* ``REPRO_LOG`` names a JSONL destination (``stderr``, ``-``, or a file
+  path) that receives *every* event as one structured line regardless of
+  level, stamped with a per-process provenance header (repro version +
+  store schema version) so exported event logs can be diffed across
+  releases;
+* ``REPRO_LOG_MAX_BYTES`` bounds file growth: when the JSONL file would
+  exceed the cap, it is rotated once to ``<path>.1`` (replacing any
+  previous rotation) and a fresh file — meta header first — takes over.
 
 Events are flat JSON objects: ``{"type": "log" | "span" | "meta", "ts":
 wall-clock seconds, ...}``.  Span events come from
@@ -17,6 +21,10 @@ wall-clock seconds, ...}``.  Span events come from
 line per event, lock-serialised within the process — concurrent worker
 processes append whole lines, which POSIX keeps intact for the short
 lines written here).
+
+Every event is also fanned out to registered in-process *sinks*
+(:func:`add_event_sink`) regardless of ``REPRO_LOG`` — the live
+observability endpoint's SSE stream subscribes this way.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import os
 import sys
 import threading
 import time
-from typing import Dict, IO, Optional
+from typing import Callable, Dict, IO, List, Optional
 
 #: Human-facing level thresholds (a superset of logging's, plus "quiet").
 LEVELS: Dict[str, int] = {
@@ -44,6 +52,15 @@ _level: Optional[int] = None
 _jsonl: Optional[IO[str]] = None
 _jsonl_path: Optional[str] = None
 _header_written = False
+_jsonl_bytes = 0
+_max_bytes: Optional[int] = None
+_max_bytes_read = False
+#: In-process event subscribers (SSE bus, tests); called outside the
+#: file lock's critical section would race reset(), so they run inside.
+_sinks: List[Callable[[Dict[str, object]], None]] = []
+
+#: ``REPRO_LOG`` values that mean "write to stderr, not a file".
+_STDERR_DESTS = frozenset({"stderr", "-"})
 
 
 def provenance() -> Dict[str, object]:
@@ -72,49 +89,141 @@ def log_level() -> int:
     return _level
 
 
+def _log_max_bytes() -> Optional[int]:
+    """The ``REPRO_LOG_MAX_BYTES`` rotation cap (read once; None = off)."""
+    global _max_bytes, _max_bytes_read
+    if not _max_bytes_read:
+        _max_bytes_read = True
+        raw = os.environ.get("REPRO_LOG_MAX_BYTES")
+        if raw:
+            try:
+                cap = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_LOG_MAX_BYTES must be an integer, got {raw!r}"
+                ) from None
+            _max_bytes = cap if cap > 0 else None
+    return _max_bytes
+
+
+def _meta_header() -> str:
+    header = {"type": "meta", "ts": time.time(), "pid": os.getpid()}
+    header.update(provenance())
+    return json.dumps(header, sort_keys=True) + "\n"
+
+
 def _jsonl_handle() -> Optional[IO[str]]:
     """The ``REPRO_LOG`` append handle (opened lazily, header first)."""
-    global _jsonl, _jsonl_path, _header_written
+    global _jsonl, _jsonl_path, _header_written, _jsonl_bytes
     path = os.environ.get("REPRO_LOG")
     if not path:
         return None
     if _jsonl is None or _jsonl_path != path:
-        if _jsonl is not None:
+        if _jsonl is not None and _jsonl_path not in _STDERR_DESTS:
             _jsonl.close()
-        _jsonl = open(path, "a", encoding="utf-8")
+        if path in _STDERR_DESTS:
+            _jsonl = sys.stderr
+            _jsonl_bytes = 0
+        else:
+            _jsonl = open(path, "a", encoding="utf-8")
+            try:
+                _jsonl_bytes = os.path.getsize(path)
+            except OSError:
+                _jsonl_bytes = 0
         _jsonl_path = path
         _header_written = False
     if not _header_written:
         _header_written = True
-        header = {"type": "meta", "ts": time.time(), "pid": os.getpid()}
-        header.update(provenance())
-        _jsonl.write(json.dumps(header, sort_keys=True) + "\n")
+        header = _meta_header()
+        _jsonl.write(header)
         _jsonl.flush()
+        _jsonl_bytes += len(header.encode("utf-8"))
     return _jsonl
 
 
+def _rotate_jsonl() -> None:
+    """One-deep rotation: current file → ``<path>.1``, fresh file + header."""
+    global _jsonl, _header_written, _jsonl_bytes
+    assert _jsonl is not None and _jsonl_path is not None
+    _jsonl.close()
+    os.replace(_jsonl_path, _jsonl_path + ".1")
+    _jsonl = open(_jsonl_path, "a", encoding="utf-8")
+    _jsonl_bytes = 0
+    header = _meta_header()
+    _jsonl.write(header)
+    _jsonl.flush()
+    _jsonl_bytes = len(header.encode("utf-8"))
+    _header_written = True
+
+
+def add_event_sink(sink: Callable[[Dict[str, object]], None]) -> None:
+    """Register an in-process subscriber for every structured event."""
+    with _lock:
+        if sink not in _sinks:
+            _sinks.append(sink)
+
+
+def remove_event_sink(sink: Callable[[Dict[str, object]], None]) -> None:
+    """Unregister a sink previously added with :func:`add_event_sink`."""
+    with _lock:
+        if sink in _sinks:
+            _sinks.remove(sink)
+
+
+def events_active() -> bool:
+    """Whether :func:`emit_event` currently has anywhere to deliver.
+
+    A cheap pre-check for hot callers (the span exit path): when
+    ``REPRO_LOG`` is unset and no sink is registered, the event payload
+    need not even be built.
+    """
+    return bool(_sinks) or bool(os.environ.get("REPRO_LOG"))
+
+
 def emit_event(payload: Dict[str, object]) -> None:
-    """Append one structured event line to ``REPRO_LOG`` (no-op unset)."""
+    """Fan one structured event out to ``REPRO_LOG`` and every sink."""
     with _lock:
         fh = _jsonl_handle()
-        if fh is None:
+        if fh is None and not _sinks:
             return
-        record = {"ts": time.time()}
+        record: Dict[str, object] = {"ts": time.time()}
         record.update(payload)
-        fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
-        fh.flush()
+        if fh is not None:
+            global _jsonl_bytes
+            line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+            cap = _log_max_bytes()
+            if (
+                cap is not None
+                and _jsonl_path not in _STDERR_DESTS
+                and _jsonl_bytes + len(line.encode("utf-8")) > cap
+                and _jsonl_bytes > 0
+            ):
+                _rotate_jsonl()
+                fh = _jsonl
+            fh.write(line)
+            fh.flush()
+            _jsonl_bytes += len(line.encode("utf-8"))
+        for sink in list(_sinks):
+            try:
+                sink(record)
+            except Exception:  # a broken subscriber must not break logging
+                pass
 
 
 def reset() -> None:
     """Re-read the environment and drop cached handles (test hook)."""
     global _level, _jsonl, _jsonl_path, _header_written
+    global _jsonl_bytes, _max_bytes, _max_bytes_read
     with _lock:
         _level = None
-        if _jsonl is not None:
+        if _jsonl is not None and _jsonl_path not in _STDERR_DESTS:
             _jsonl.close()
         _jsonl = None
         _jsonl_path = None
         _header_written = False
+        _jsonl_bytes = 0
+        _max_bytes = None
+        _max_bytes_read = False
 
 
 class StructuredLogger:

@@ -11,8 +11,10 @@ subsystem.  Three design points drive the shape:
   :meth:`MetricsRegistry.merge`.  Counters add, gauges take the maximum,
   histogram buckets add element-wise — all associative and commutative, so
   the fold result is independent of worker completion order (asserted by
-  the test suite; histogram *sums* are float accumulations, exact only to
-  within rounding across orders).
+  the test suite).  Histogram *sums* are kept as exact compensated-sum
+  expansions (Shewchuk partials, the full generalisation of
+  Neumaier/Kahan summation) and serialized in a canonical form, so even
+  the float sums are bit-identical across fold orders.
 * **Fixed bucket bounds.**  Histograms carry an explicit, immutable bound
   tuple chosen at first observation (default: :data:`TIME_BUCKETS`).
   Merging rejects mismatched bounds instead of resampling, so merged
@@ -31,6 +33,7 @@ and runs with identical activity.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -54,26 +57,91 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
-class Histogram:
-    """Fixed-bound histogram: per-bucket counts plus running count/sum."""
+# --------------------------------------------------------------------- #
+# exact float accumulation (compensated summation, taken to its limit)
+# --------------------------------------------------------------------- #
+def _exact_add(partials: List[float], value: float) -> None:
+    """Accumulate ``value`` into a non-overlapping partials expansion.
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    Shewchuk's grow-expansion (the algorithm behind ``math.fsum``): the
+    list always represents the *exact* real-number sum of everything
+    accumulated so far, so addition is genuinely associative and
+    commutative — the property plain floats (and two-term Neumaier/Kahan
+    compensation) only approximate.
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def _canonical_partials(partials: List[float]) -> List[float]:
+    """The unique round-and-subtract expansion of an exact sum.
+
+    Two partials lists representing the same exact value can differ
+    term-by-term depending on accumulation history; peeling off the
+    correctly-rounded total (``math.fsum``) and exactly subtracting it
+    until nothing remains yields a canonical form, so serialized
+    snapshots of equal sums are bit-identical.
+    """
+    out: List[float] = []
+    rest = list(partials)
+    for _ in range(64):  # terminates in 2-3 rounds; bound is paranoia
+        total = math.fsum(rest)
+        if total == 0.0:
+            break
+        out.append(total)
+        _exact_add(rest, -total)
+    return out
+
+
+class Histogram:
+    """Fixed-bound histogram: per-bucket counts plus running count/sum.
+
+    The running sum is an exact compensated expansion (see
+    :func:`_exact_add`), so merged histograms report bit-identical sums
+    regardless of observation or merge order.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "_sum_partials")
 
     def __init__(self, bounds: Tuple[float, ...] = TIME_BUCKETS) -> None:
         self.bounds = tuple(bounds)
         #: One count per bound, plus the trailing +Inf bucket.
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
-        self.sum = 0.0
+        self._sum_partials: List[float] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
-        self.sum += value
+        _exact_add(self._sum_partials, value)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[i] += 1
                 return
         self.bucket_counts[-1] += 1
+
+    @property
+    def sum(self) -> float:
+        """Correctly-rounded total of every observation."""
+        return math.fsum(self._sum_partials)
+
+    def sum_partials(self) -> List[float]:
+        """The canonical exact-sum expansion (JSON-safe)."""
+        return _canonical_partials(self._sum_partials)
+
+    def merge_sum(self, partials: Iterable[float]) -> None:
+        """Exactly fold another histogram's sum expansion into this one."""
+        for part in partials:
+            _exact_add(self._sum_partials, part)
 
     @property
     def mean(self) -> float:
@@ -161,6 +229,7 @@ class MetricsRegistry:
                     "bucket_counts": list(hist.bucket_counts),
                     "count": hist.count,
                     "sum": hist.sum,
+                    "sum_partials": hist.sum_partials(),
                 }
                 for (name, labels), hist in sorted(self._histograms.items())
             ]
@@ -171,7 +240,10 @@ class MetricsRegistry:
 
         Counters add, gauges keep the maximum, histogram buckets add
         element-wise — all associative/commutative, so folding worker
-        snapshots in any completion order yields identical state.
+        snapshots in any completion order yields identical state
+        (including the histogram float sums, which merge through exact
+        compensated expansions; snapshots written before the expansions
+        existed fold their rounded ``sum`` instead).
         """
         for entry in snapshot.get("counters", ()):  # type: ignore[union-attr]
             key = (entry["name"], _label_key(entry["labels"]))
@@ -200,7 +272,10 @@ class MetricsRegistry:
                 for i, count in enumerate(entry["bucket_counts"]):
                     hist.bucket_counts[i] += count
                 hist.count += entry["count"]
-                hist.sum += entry["sum"]
+                partials = entry.get("sum_partials")
+                if partials is None:  # pre-expansion snapshot: rounded sum
+                    partials = [entry["sum"]] if entry["sum"] else []
+                hist.merge_sum(partials)
 
     def snapshot_delta(self, cursor: str) -> Dict[str, object]:
         """Everything recorded since the previous call with this ``cursor``.
@@ -302,19 +377,30 @@ def diff_snapshots(
         count = entry["count"] - prior["count"]
         if not count:
             continue
-        histograms.append(
-            {
-                "name": entry["name"],
-                "labels": dict(entry["labels"]),
-                "bounds": list(entry["bounds"]),
-                "bucket_counts": [
-                    a - b
-                    for a, b in zip(entry["bucket_counts"], prior["bucket_counts"])
-                ],
-                "count": count,
-                "sum": entry["sum"] - prior["sum"],
-            }
-        )
+        delta_hist = {
+            "name": entry["name"],
+            "labels": dict(entry["labels"]),
+            "bounds": list(entry["bounds"]),
+            "bucket_counts": [
+                a - b
+                for a, b in zip(entry["bucket_counts"], prior["bucket_counts"])
+            ],
+            "count": count,
+        }
+        after_parts = entry.get("sum_partials")
+        before_parts = prior.get("sum_partials")
+        if after_parts is not None and before_parts is not None:
+            # exact subtraction, so merging a cursor's delta stream
+            # reconstructs the cumulative sums bit-identically
+            rest = list(after_parts)
+            for part in before_parts:
+                _exact_add(rest, -part)
+            delta_parts = _canonical_partials(rest)
+            delta_hist["sum"] = math.fsum(delta_parts)
+            delta_hist["sum_partials"] = delta_parts
+        else:
+            delta_hist["sum"] = entry["sum"] - prior["sum"]
+        histograms.append(delta_hist)
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 

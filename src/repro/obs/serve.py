@@ -1,0 +1,295 @@
+"""Live observability endpoint: ``python -m repro obs serve``.
+
+A threaded stdlib :mod:`http.server` (no third-party dependencies)
+exposing the process's telemetry — and, when a store path is configured,
+the durable campaign state — over four routes:
+
+``/healthz``
+    Liveness JSON: status, pid, uptime, repro/store versions.
+``/metrics``
+    Prometheus text exposition (the :mod:`repro.obs.prom` renderer) of
+    the *live* process registry; ``/metrics?campaign=ID`` renders the
+    store-persisted merged metrics of one campaign instead, so a
+    standalone ``obs serve --store`` process is a scrape target for
+    campaigns that already finished.
+``/campaigns``
+    JSON summaries of every campaign in the store (id, workload, plan,
+    status, shard/injection progress).
+``/events``
+    Server-Sent Events: every structured log/span event the process
+    emits (the :func:`repro.obs.log.add_event_sink` hook), preceded by a
+    ``hello`` event carrying provenance — a browser ``EventSource`` or
+    ``curl -N`` watches a running campaign live.
+
+``campaign run --serve PORT`` (or ``REPRO_OBS_PORT``) starts the same
+server in-process next to the orchestrator, so a *running* campaign is
+observable mid-flight; the store-backed routes then serve the very store
+the campaign is writing.  Server threads only ever *read* the live
+registry (its lock serialises against recording) and open their own
+short-lived store connections, so serving never perturbs the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.log import add_event_sink, provenance, remove_event_sink
+from repro.obs.metrics import registry
+from repro.obs.prom import render_promfile
+
+#: Default port of ``repro obs serve`` (overridden by ``REPRO_OBS_PORT``).
+DEFAULT_PORT = 9208
+
+#: Per-subscriber SSE queue depth; a stalled client drops events rather
+#: than blocking the emitting thread.
+_QUEUE_DEPTH = 256
+
+
+class EventBus:
+    """Fan structured events out to any number of SSE subscribers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: List["queue.Queue[Dict[str, object]]"] = []
+
+    def publish(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for q in subscribers:
+            try:
+                q.put_nowait(event)
+            except queue.Full:  # slow client: drop, never block
+                pass
+
+    def subscribe(self) -> "queue.Queue[Dict[str, object]]":
+        q: "queue.Queue[Dict[str, object]]" = queue.Queue(_QUEUE_DEPTH)
+        with self._lock:
+            self._subscribers.append(q)
+        return q
+
+    def unsubscribe(self, q: "queue.Queue[Dict[str, object]]") -> None:
+        with self._lock:
+            if q in self._subscribers:
+                self._subscribers.remove(q)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+    #: The owning :class:`ObsServer` (set on the server object).
+    obs: "ObsServer"
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence per-request lines
+        pass
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        obs = self.server.obs  # type: ignore[attr-defined]
+        try:
+            if route in ("/", "/healthz"):
+                self._send_json(200, obs.health())
+            elif route == "/metrics":
+                query = parse_qs(parsed.query)
+                campaign = (query.get("campaign") or [None])[0]
+                self._send_text(
+                    200, obs.metrics_text(campaign),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif route == "/campaigns":
+                self._send_json(200, obs.campaign_summaries())
+            elif route == "/events":
+                self._serve_events(obs)
+            else:
+                self._send_json(404, {"error": f"no route {route!r}"})
+        except BrokenPipeError:
+            pass
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except RuntimeError as exc:
+            self._send_json(503, {"error": str(exc)})
+
+    # ------------------------------------------------------------------ #
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: object) -> None:
+        self._send_text(
+            code, json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            "application/json; charset=utf-8",
+        )
+
+    def _serve_events(self, obs: "ObsServer") -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        q = obs.bus.subscribe()
+        try:
+            self._write_sse("hello", obs.health())
+            while not obs.stopping.is_set():
+                try:
+                    event = q.get(timeout=1.0)
+                except queue.Empty:
+                    # comment line = keep-alive; also surfaces dead clients
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                self._write_sse(str(event.get("type", "event")), event)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            obs.bus.unsubscribe(q)
+
+    def _write_sse(self, event_name: str, payload: object) -> None:
+        data = json.dumps(payload, sort_keys=True, default=repr)
+        self.wfile.write(
+            f"event: {event_name}\ndata: {data}\n\n".encode("utf-8")
+        )
+        self.wfile.flush()
+
+
+class ObsServer:
+    """The observability HTTP server (threaded, stdlib-only).
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  ``store_path`` enables the store-backed routes; the
+    live registry is always served.  While running, the server is
+    registered as an event sink, so every structured log/span event the
+    process emits streams to SSE subscribers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_path: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.store_path = store_path
+        self.bus = EventBus()
+        self.stopping = threading.Event()
+        self.started_at = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            return self
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.obs = self  # type: ignore[attr-defined]
+        self.started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        add_event_sink(self.bus.publish)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self.stopping.set()
+        remove_event_sink(self.bus.publish)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # route payloads (handler threads call these)
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        import os
+
+        payload: Dict[str, object] = {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "store": self.store_path,
+            "sse_subscribers": self.bus.subscriber_count,
+        }
+        payload.update(provenance())
+        return payload
+
+    def metrics_text(self, campaign_id: Optional[str] = None) -> str:
+        if campaign_id is None:
+            return render_promfile(registry().to_dict())
+        with self._open_store() as store:
+            if not store.has_campaign(campaign_id):
+                raise KeyError(f"no campaign {campaign_id!r} in the store")
+            return render_promfile(store.campaign_metrics(campaign_id))
+
+    def campaign_summaries(self) -> List[Dict[str, object]]:
+        from repro.campaigns.plans import plan_from_dict
+
+        with self._open_store() as store:
+            summaries = []
+            for record in store.campaigns():
+                status = store.status(record.campaign_id)
+                summaries.append(
+                    {
+                        "campaign_id": record.campaign_id,
+                        "workload": record.workload,
+                        "workload_kwargs": record.workload_kwargs,
+                        "plan": plan_from_dict(record.plan).describe(),
+                        "status": record.status,
+                        "shards_done": status.shards_done,
+                        "injections_done": status.injections_done,
+                        "runs": len(status.runs),
+                        "repro_version": record.repro_version,
+                    }
+                )
+            return summaries
+
+    def _open_store(self):
+        from repro.campaigns.store import CampaignStore
+
+        if self.store_path is None:
+            raise RuntimeError(
+                "no store configured (pass --store to `repro obs serve`)"
+            )
+        # one short-lived connection per request: sqlite connections are
+        # not shareable across the handler threads
+        return CampaignStore(self.store_path)

@@ -1,32 +1,57 @@
 """Lightweight span tracing: ``with span("replay.batch", shard=k): ...``.
 
-A span measures one timed region on the monotonic clock.  Spans nest via
-a thread-local stack — each records its parent's name and its own depth —
-and are exported two ways on exit:
+A span measures one timed region on the monotonic clock (plus a
+wall-clock start stamp so spans from different processes can be laid on
+one timeline).  Spans nest via a thread-local stack — each records its
+parent's name and its own depth — and are exported three ways on exit:
 
 * a ``span_seconds`` histogram observation in the metrics registry
   (labelled ``span=<name>`` plus the caller's labels), so durations are
   mergeable across worker processes like every other metric;
 * a flat ``{"type": "span", ...}`` JSONL event via ``REPRO_LOG`` (see
-  :mod:`repro.obs.log`), the diffable event-log form.
+  :mod:`repro.obs.log`), the diffable event-log form;
+* when recording is enabled (:func:`enable_recording`), a finished-span
+  *record* in a per-process buffer — the campaign flight recorder.
+  Worker processes drain the buffer per chunk
+  (:func:`drain_span_records`) and ship the records to the orchestrator
+  alongside their metric deltas; the orchestrator persists them into the
+  store's ``run_spans`` table for ``python -m repro timeline``.
 
-Overhead off the hot path is two ``monotonic()`` calls and a dict update;
-with ``REPRO_METRICS=0`` and ``REPRO_LOG`` unset, exit does nothing but
-pop the stack.  Spans are deliberately *not* placed inside the engine's
-dispatch loop — engine activity is counted, not span-timed.
+Correlation IDs come from the process-wide *span context*
+(:func:`set_span_context` / :func:`span_context`): stable labels such as
+``campaign`` / ``run`` / ``shard`` stamped onto every record exported
+while the context is active, plus the recording process's pid.
+
+Overhead off the hot path is two ``monotonic()`` calls, one ``time()``
+call and a dict update; with ``REPRO_METRICS=0``, ``REPRO_LOG`` unset
+and recording off, exit does nothing but pop the stack.  Spans are
+deliberately *not* placed inside the engine's dispatch loop — engine
+activity is counted, not span-timed.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
-from repro.obs.log import emit_event
+from repro.obs.log import emit_event, events_active
 from repro.obs.metrics import registry
 
 _stack = threading.local()
+
+#: Process-wide correlation labels stamped onto every span record (and
+#: inherited by fork-started worker processes, which is exactly right for
+#: campaign/run ids).  Mutated only via :func:`set_span_context`.
+_context: Dict[str, str] = {}
+
+#: Finished-span record buffer (``None`` = recording disabled).  Bounded:
+#: a runaway producer drops the *oldest* records rather than growing
+#: without limit — the recorder is a flight recorder, not an archive.
+_records: Optional[List[Dict[str, object]]] = None
+_RECORD_CAP = 100_000
 
 
 def _frames() -> list:
@@ -36,10 +61,103 @@ def _frames() -> list:
     return frames
 
 
+# --------------------------------------------------------------------- #
+# correlation context
+# --------------------------------------------------------------------- #
+def set_span_context(**labels: object) -> None:
+    """Merge correlation labels into the process-wide span context.
+
+    ``None`` values remove the key.  Labels are stringified, mirroring
+    span labels.
+    """
+    for key, value in labels.items():
+        if value is None:
+            _context.pop(key, None)
+        else:
+            _context[key] = str(value)
+
+
+def clear_span_context() -> None:
+    """Drop every correlation label (test hook / campaign teardown)."""
+    _context.clear()
+
+
+def get_span_context() -> Dict[str, str]:
+    """A copy of the active correlation labels."""
+    return dict(_context)
+
+
+@contextmanager
+def span_context(**labels: object) -> Iterator[None]:
+    """Scope correlation labels: set on entry, restore prior on exit."""
+    previous = {key: _context.get(key) for key in labels}
+    set_span_context(**labels)
+    try:
+        yield
+    finally:
+        set_span_context(**previous)
+
+
+# --------------------------------------------------------------------- #
+# flight recording
+# --------------------------------------------------------------------- #
+def enable_recording() -> None:
+    """Start buffering finished-span records in this process."""
+    global _records
+    if _records is None:
+        _records = []
+
+
+def disable_recording() -> None:
+    """Stop buffering and drop any unfetched records."""
+    global _records
+    _records = None
+
+
+def recording_enabled() -> bool:
+    return _records is not None
+
+
+def drain_span_records() -> List[Dict[str, object]]:
+    """Return (and clear) the finished-span records buffered so far.
+
+    Worker processes call this per chunk and ship the records to the
+    parent; the orchestrator calls it per shard / per run to persist its
+    own process's spans.  Returns ``[]`` when recording is disabled.
+    """
+    global _records
+    if not _records:
+        return []
+    drained, _records = _records, []
+    return drained
+
+
+def _record(entry: "Span") -> None:
+    assert _records is not None
+    if len(_records) >= _RECORD_CAP:
+        del _records[0]
+    labels = dict(_context)
+    labels.update(entry.labels)
+    _records.append(
+        {
+            "name": entry.name,
+            "parent": entry.parent,
+            "depth": entry.depth,
+            "pid": os.getpid(),
+            "start_ts": entry.start_ts,
+            "duration_s": entry.duration_s,
+            "labels": labels,
+        }
+    )
+
+
 class Span:
     """One timed region (live inside its ``with`` block, frozen after)."""
 
-    __slots__ = ("name", "labels", "parent", "depth", "start_s", "duration_s")
+    __slots__ = (
+        "name", "labels", "parent", "depth", "start_s", "start_ts",
+        "duration_s",
+    )
 
     def __init__(self, name: str, labels: Dict[str, object],
                  parent: Optional[str], depth: int) -> None:
@@ -48,6 +166,8 @@ class Span:
         self.parent = parent
         self.depth = depth
         self.start_s = time.monotonic()
+        #: Wall-clock start — the cross-process timeline coordinate.
+        self.start_ts = time.time()
         self.duration_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
@@ -59,6 +179,7 @@ class Span:
             "depth": self.depth,
             "duration_s": self.duration_s,
         }
+        payload.update(_context)
         payload.update(self.labels)
         return payload
 
@@ -94,4 +215,7 @@ def span(name: str, **labels: object) -> Iterator[Span]:
         reg = registry()
         if reg.enabled:
             reg.observe("span_seconds", entry.duration_s, span=name, **labels)
-        emit_event(entry.to_dict())
+        if _records is not None:
+            _record(entry)
+        if events_active():
+            emit_event(entry.to_dict())

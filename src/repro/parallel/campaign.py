@@ -27,6 +27,7 @@ from repro.core.acceptance import OutcomeClass
 from repro.core.advf import AnalysisConfig, ObjectReport
 from repro.core.injector import DeterministicFaultInjector, FaultInjectionResult
 from repro.obs.metrics import metrics_enabled, registry as _metrics_registry
+from repro.obs.spans import drain_span_records, enable_recording, span
 from repro.parallel.partition import chunk_evenly
 from repro.tracing.cache import TraceCache, trace_digest
 from repro.tracing.columnar import ColumnarTrace, artifact_suffix
@@ -118,6 +119,12 @@ def _worker_injector(
     return injector
 
 
+#: True only in pool worker processes (set by the initializer).  The chunk
+#: functions also run in-process for small jobs; there they must *not*
+#: drain the span-record buffer — the parent owns it.
+_IS_WORKER = False
+
+
 def _worker_metrics_baseline() -> None:
     """Pool initializer: discard registry state inherited across ``fork``.
 
@@ -125,10 +132,24 @@ def _worker_metrics_baseline() -> None:
     parent's registry (golden-trace build, analysis passes, …).  Setting
     the chunk cursor here makes the first chunk's delta cover only work
     the worker itself performed, so the parent's pre-fork activity is
-    never shipped back and double-counted.
+    never shipped back and double-counted.  Span recording follows the
+    same pattern: enabled, then drained once to discard records inherited
+    across fork (the parent persists its own).
     """
+    global _IS_WORKER
+    _IS_WORKER = True
     if metrics_enabled():
         _metrics_registry().snapshot_delta("worker-chunk")
+    enable_recording()
+    drain_span_records()
+
+
+def _chunk_span_records() -> Optional[List[Dict[str, object]]]:
+    """This worker's finished spans since the previous chunk (None when
+    running in the parent process, whose buffer the orchestrator drains)."""
+    if not _IS_WORKER:
+        return None
+    return drain_span_records()
 
 
 def _chunk_metrics_delta() -> Optional[Dict[str, object]]:
@@ -154,6 +175,7 @@ def _inject_chunk(
     Dict[str, int],
     Optional[Dict[str, object]],
     Optional[Dict[str, object]],
+    Optional[List[Dict[str, object]]],
 ]:
     # One injector per (worker process, workload): the golden run and the
     # checkpoint schedule are computed once, and the whole chunk is
@@ -162,17 +184,20 @@ def _inject_chunk(
     # element is the scheduler's counter delta for this chunk, the third
     # the worker's metrics-registry delta, the fourth the delta of
     # convergence-memo entries this chunk learned (merged + persisted by
-    # the parent so later workers and resumed campaigns warm-start).
+    # the parent so later workers and resumed campaigns warm-start), the
+    # fifth the worker's finished-span records for the flight recorder.
     injector = _worker_injector(workload_name, workload_kwargs)
-    results = [
-        (result.spec, result.outcome.value, result.detail)
-        for result in injector.inject_many(specs)
-    ]
+    with span("worker.inject", workload=workload_name, specs=len(specs)):
+        results = [
+            (result.spec, result.outcome.value, result.detail)
+            for result in injector.inject_many(specs)
+        ]
     return (
         results,
         injector.consume_batch_stats(),
         _chunk_metrics_delta(),
         injector.consume_memo_delta(),
+        _chunk_span_records(),
     )
 
 
@@ -195,7 +220,11 @@ def _analyze_objects_chunk(
     object_names: List[str],
     config: AnalysisConfig,
     trace_path: Optional[str] = None,
-) -> Tuple[List[Tuple[str, ObjectReport]], Optional[Dict[str, object]]]:
+) -> Tuple[
+    List[Tuple[str, ObjectReport]],
+    Optional[Dict[str, object]],
+    Optional[List[Dict[str, object]]],
+]:
     from repro.core.advf import AdvfEngine
     from repro.workloads.registry import get_workload
 
@@ -208,8 +237,10 @@ def _analyze_objects_chunk(
     workload = get_workload(workload_name, **workload_kwargs)
     trace = _worker_trace(trace_path) if trace_path is not None else None
     engine = AdvfEngine(workload, config, trace=trace)
-    pairs = [(name, engine.analyze_object(name)) for name in object_names]
-    return pairs, _chunk_metrics_delta()
+    with span("worker.analyze", workload=workload_name,
+              objects=len(object_names)):
+        pairs = [(name, engine.analyze_object(name)) for name in object_names]
+    return pairs, _chunk_metrics_delta(), _chunk_span_records()
 
 
 # --------------------------------------------------------------------- #
@@ -251,6 +282,13 @@ class CampaignRunner:
     #: :meth:`repro.tracing.cache.MemoCache.merge_store`.
     last_memo_delta: Optional[Dict[str, object]] = field(
         default=None, init=False, repr=False, compare=False
+    )
+    #: Finished-span records shipped back by worker processes during the
+    #: most recent :meth:`run_injections` / :meth:`analyze_objects` call
+    #: (flight recorder; empty when chunks ran in this process — those
+    #: spans sit in this process's own buffer).
+    last_span_records: List[Dict[str, object]] = field(
+        default_factory=list, init=False, repr=False, compare=False
     )
 
     # ------------------------------------------------------------------ #
@@ -301,13 +339,15 @@ class CampaignRunner:
         specs = list(specs)
         self.last_batch_stats = {}
         self.last_memo_delta = None
+        self.last_span_records = []
         if not specs:
             return []
         if self.workers <= 1 or len(specs) < 4:
             try:
                 # in-process: the metrics delta is already in this
-                # process's registry, so it is discarded, not merged
-                raw, stats, _, memo_delta = _inject_chunk(
+                # process's registry (discarded, not merged), and the span
+                # records sit in this process's own buffer
+                raw, stats, _, memo_delta, _ = _inject_chunk(
                     self.workload_name, self.workload_kwargs, specs
                 )
             except Exception as exc:
@@ -325,11 +365,13 @@ class CampaignRunner:
             on_progress,
         )
         results: List[FaultInjectionResult] = []
-        for raw, stats, delta, memo_delta in per_chunk:
+        for raw, stats, delta, memo_delta, span_records in per_chunk:
             results.extend(_wrap(raw))
             self._merge_stats(stats)
             self._fold_metrics(delta)
             self._merge_memo(memo_delta)
+            if span_records:
+                self.last_span_records.extend(span_records)
         return results
 
     def _merge_stats(self, stats: Dict[str, int]) -> None:
@@ -434,6 +476,7 @@ class CampaignRunner:
         """
         config = config or AnalysisConfig()
         names = list(object_names)
+        self.last_span_records = []
         if not names:
             return {}
         try:
@@ -443,8 +486,9 @@ class CampaignRunner:
         if self.workers <= 1 or len(names) == 1:
             try:
                 # in-process: the metrics delta is already in this
-                # process's registry, so it is discarded, not merged
-                pairs, _ = _analyze_objects_chunk(
+                # process's registry (discarded, not merged), and the span
+                # records sit in this process's own buffer
+                pairs, _, _ = _analyze_objects_chunk(
                     self.workload_name, self.workload_kwargs, names, config,
                     trace_path,
                 )
@@ -466,8 +510,10 @@ class CampaignRunner:
             on_progress,
         )
         out: Dict[str, ObjectReport] = {}
-        for pairs, delta in per_chunk:
+        for pairs, delta, span_records in per_chunk:
             self._fold_metrics(delta)
+            if span_records:
+                self.last_span_records.extend(span_records)
             for name, report in pairs:
                 out[name] = report
         return out

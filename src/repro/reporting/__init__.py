@@ -9,6 +9,7 @@ Public API
 :func:`~repro.reporting.tables.format_campaign_list`,
 :func:`~repro.reporting.tables.format_shard_table`,
 :func:`~repro.reporting.tables.format_metrics_table`,
+:func:`~repro.reporting.tables.format_timeline`,
 :func:`~repro.reporting.tables.format_protection_plan_table`,
 :func:`~repro.reporting.tables.format_validation_table`,
 :func:`~repro.reporting.figures.stacked_bar_chart`,
@@ -24,6 +25,7 @@ from repro.reporting.tables import (
     format_protection_plan_table,
     format_shard_table,
     format_table,
+    format_timeline,
     format_validation_table,
     table1_rows,
 )
@@ -42,6 +44,7 @@ __all__ = [
     "format_campaign_list",
     "format_metrics_table",
     "format_protection_plan_table",
+    "format_timeline",
     "format_shard_table",
     "format_validation_table",
     "advf_category_breakdown_rows",

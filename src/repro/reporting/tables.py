@@ -314,6 +314,122 @@ def format_validation_table(rows: Sequence[Dict[str, object]]) -> str:
     )
 
 
+def format_timeline(
+    records: Sequence[Dict[str, object]],
+    width: int = 40,
+    limit: Optional[int] = None,
+) -> str:
+    """Per-shard phase waterfall for ``python -m repro timeline``.
+
+    Each record is a flat dict in the store's ``run_spans`` shape —
+    ``run_id``, ``name``, ``pid``, ``shard_index``, ``start_ts``,
+    ``duration_s`` and a ``labels`` dict — exactly what
+    :meth:`repro.campaigns.store.CampaignStore.run_spans` rows decode to,
+    so the waterfall renders entirely from persisted data.
+
+    One section per orchestrator run.  Rows are ordered by wall-clock
+    start; the trailing bar column draws each span's ``[start, end)``
+    against the run's wall-clock extent, which makes concurrency overlap
+    (worker pids injecting in parallel) directly visible.  Spans that
+    belong to no shard (``shard_index`` -1: trace acquisition, analysis
+    passes, the run span itself) render ``-`` in the shard column.  The
+    per-run summary line reports wall-clock, distinct recording pids, the
+    peak number of simultaneously-active pids and the aggregate
+    busy-time/wall-clock parallelism factor.
+    """
+    if not records:
+        return "no spans recorded"
+    by_run: Dict[int, List[Dict[str, object]]] = {}
+    for record in records:
+        by_run.setdefault(int(record.get("run_id", 0)), []).append(record)
+
+    sections = []
+    for run_id in sorted(by_run):
+        spans = sorted(
+            by_run[run_id],
+            key=lambda r: (float(r["start_ts"]), int(r.get("depth", 0))),
+        )
+        t0 = min(float(r["start_ts"]) for r in spans)
+        wall = max(
+            float(r["start_ts"]) + float(r["duration_s"]) for r in spans
+        ) - t0
+        rows = []
+        for record in spans if limit is None else spans[:limit]:
+            start = float(record["start_ts"]) - t0
+            duration = float(record["duration_s"])
+            shard = int(record.get("shard_index", -1))
+            labels = record.get("labels") or {}
+            rows.append(
+                [
+                    str(record["name"]),
+                    shard if shard >= 0 else "-",
+                    labels.get("object", "-") if isinstance(labels, dict) else "-",
+                    record.get("pid", "-"),
+                    f"{start:.3f}",
+                    f"{duration:.3f}",
+                    _waterfall_bar(start, duration, wall, width),
+                ]
+            )
+        table = format_table(
+            ["phase", "shard", "object", "pid", "start s", "dur s", "timeline"],
+            rows,
+        )
+        shown = len(rows)
+        summary = _timeline_summary(spans, t0, wall)
+        header = f"run {run_id}: {len(spans)} spans"
+        if shown < len(spans):
+            header += f" (showing first {shown})"
+        sections.append(f"{header}\n{table}\n{summary}")
+    return "\n\n".join(sections)
+
+
+def _waterfall_bar(start: float, duration: float, wall: float, width: int) -> str:
+    if wall <= 0 or width <= 0:
+        return "|" + "#" * max(1, width) + "|"
+    begin = min(width - 1, int(start / wall * width))
+    length = max(1, int(round(duration / wall * width)))
+    length = min(length, width - begin)
+    return "|" + " " * begin + "#" * length + " " * (width - begin - length) + "|"
+
+
+def _timeline_summary(
+    spans: Sequence[Dict[str, object]], t0: float, wall: float
+) -> str:
+    # merge each pid's span intervals, then sweep all pids' merged
+    # intervals: peak = max simultaneously-busy pids (process concurrency),
+    # parallelism = total busy time / wall-clock
+    by_pid: Dict[object, List[Tuple[float, float]]] = {}
+    for record in spans:
+        start = float(record["start_ts"]) - t0
+        by_pid.setdefault(record.get("pid", 0), []).append(
+            (start, start + float(record["duration_s"]))
+        )
+    busy_total = 0.0
+    events: List[Tuple[float, int]] = []
+    for intervals in by_pid.values():
+        intervals.sort()
+        merged: List[Tuple[float, float]] = []
+        for begin, end in intervals:
+            if merged and begin <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((begin, end))
+        for begin, end in merged:
+            busy_total += end - begin
+            events.append((begin, 1))
+            events.append((end, -1))
+    events.sort()
+    peak = active = 0
+    for _, delta in events:
+        active += delta
+        peak = max(peak, active)
+    parallelism = busy_total / wall if wall > 0 else 0.0
+    return (
+        f"wall {wall:.3f}s, {len(by_pid)} pids, peak concurrency {peak}, "
+        f"parallelism {parallelism:.2f}x"
+    )
+
+
 def format_campaign_list(
     rows: Sequence[Dict[str, object]], limit: Optional[int] = None
 ) -> str:

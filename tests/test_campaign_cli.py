@@ -145,7 +145,7 @@ class TestStatsCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "campaign :" in out and "matmul" in out
-        assert "store schema v6" in out
+        assert "store schema v7" in out
         assert "runs     : 1 of 1 with metrics" in out
         # engine activity made it through the run cursor into the store
         assert "engine.ops" in out

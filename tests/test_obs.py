@@ -20,7 +20,19 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.prom import render_promfile
-from repro.obs.spans import current_span, span
+from repro.obs import spans as obs_spans
+from repro.obs.spans import (
+    clear_span_context,
+    current_span,
+    disable_recording,
+    drain_span_records,
+    enable_recording,
+    get_span_context,
+    recording_enabled,
+    set_span_context,
+    span,
+    span_context,
+)
 from repro.reporting import format_metrics_table
 
 
@@ -31,6 +43,8 @@ def _fresh_registry():
     yield
     configure(None)
     obs_log.reset()
+    disable_recording()
+    clear_span_context()
 
 
 def _worker_snapshot(seed: int):
@@ -76,26 +90,23 @@ class TestRegistry:
         )
 
     def test_merge_fold_is_order_independent(self):
-        """Counters add, gauges max, buckets add — any fold order agrees."""
+        """Counters add, gauges max, buckets add — any fold order agrees.
+
+        Histogram sums are carried as exact compensated partials, so the
+        agreement is *bit-identical* — including the float ``sum`` — not
+        merely to rounding.
+        """
         snaps = [_worker_snapshot(seed) for seed in (1, 2, 3)]
-
-        def normalize(snapshot):
-            """Histogram float sums only agree to rounding across orders."""
-            out = json.loads(json.dumps(snapshot))
-            sums = [h.pop("sum") for h in out["histograms"]]
-            return out, sums
-
         merged = []
         for order in itertools.permutations(range(3)):
             acc = MetricsRegistry()
             for i in order:
                 acc.merge(snaps[i])
-            merged.append(normalize(acc.to_dict()))
-        first_exact, first_sums = merged[0]
-        for exact, sums in merged[1:]:
-            assert exact == first_exact
-            assert sums == pytest.approx(first_sums)
-        assert normalize(merge_snapshots(*snaps))[0] == first_exact
+            merged.append(json.loads(json.dumps(acc.to_dict())))
+        first = merged[0]
+        for other in merged[1:]:
+            assert other == first
+        assert json.loads(json.dumps(merge_snapshots(*snaps))) == first
         # and the semantics themselves:
         acc = MetricsRegistry()
         for snap in snaps:
@@ -197,6 +208,56 @@ class TestSpans:
         assert registry().histogram("span_seconds", span="doomed").count == 1
 
 
+class TestFlightRecorderBuffer:
+    def test_recording_buffers_context_stamped_records(self):
+        assert not recording_enabled()
+        enable_recording()
+        set_span_context(campaign="c01", run=1)
+        with span("campaign.shard", shard=3, object="matmul"):
+            with span("worker.inject", specs=8):
+                pass
+        records = drain_span_records()
+        assert [r["name"] for r in records] == [
+            "worker.inject", "campaign.shard",  # exit order: inner first
+        ]
+        inner, outer = records
+        assert inner["parent"] == "campaign.shard" and inner["depth"] == 1
+        assert outer["parent"] is None and outer["depth"] == 0
+        for record in records:
+            assert record["labels"]["campaign"] == "c01"
+            assert record["labels"]["run"] == "1"  # stringified
+            assert record["pid"] > 0
+            assert record["duration_s"] >= 0
+            assert record["start_ts"] > 0
+        assert inner["labels"]["specs"] == "8"
+        # the drain cleared the buffer; recording itself stays on
+        assert drain_span_records() == []
+        assert recording_enabled()
+
+    def test_disabled_recording_buffers_nothing(self):
+        with span("ignored"):
+            pass
+        assert drain_span_records() == []
+
+    def test_buffer_drops_oldest_past_cap(self, monkeypatch):
+        monkeypatch.setattr(obs_spans, "_RECORD_CAP", 3)
+        enable_recording()
+        for i in range(5):
+            with span("s", i=i):
+                pass
+        records = drain_span_records()
+        assert len(records) == 3
+        assert [r["labels"]["i"] for r in records] == ["2", "3", "4"]
+
+    def test_span_context_scoping_restores_prior(self):
+        set_span_context(campaign="c01")
+        with span_context(campaign="c02", shard=5):
+            assert get_span_context() == {"campaign": "c02", "shard": "5"}
+        assert get_span_context() == {"campaign": "c01"}
+        set_span_context(campaign=None)
+        assert get_span_context() == {}
+
+
 class TestStructuredLog:
     def test_level_gates_stderr(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_LOG_LEVEL", "warning")
@@ -250,6 +311,60 @@ class TestStructuredLog:
     def test_levels_cover_aliases(self):
         assert LEVELS["warn"] == LEVELS["warning"]
         assert LEVELS["quiet"] == LEVELS["off"]
+
+    def test_jsonl_rotation_caps_growth(self, monkeypatch, tmp_path):
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_LOG", str(path))
+        monkeypatch.setenv("REPRO_LOG_MAX_BYTES", "600")
+        obs_log.reset()
+        for i in range(40):
+            emit_event({"type": "custom", "i": i, "pad": "x" * 40})
+        rotated = tmp_path / "events.jsonl.1"
+        assert rotated.exists()
+        # one-deep rotation bounds total disk to ~2x the cap
+        assert path.stat().st_size <= 600
+        assert rotated.stat().st_size <= 600
+        # both files restart with a fresh meta (provenance) header
+        for f in (path, rotated):
+            first = json.loads(f.read_text().splitlines()[0])
+            assert first["type"] == "meta"
+            assert first["repro_version"] == provenance()["repro_version"]
+        # old events age out (bounded growth) but the surviving window is
+        # contiguous and ends at the newest event
+        seen = [
+            json.loads(l)["i"]
+            for f in (rotated, path)
+            for l in f.read_text().splitlines()
+            if json.loads(l)["type"] == "custom"
+        ]
+        assert seen == list(range(seen[0], 40))
+
+    def test_rotation_never_touches_stderr_destination(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LOG", "stderr")
+        monkeypatch.setenv("REPRO_LOG_MAX_BYTES", "10")
+        obs_log.reset()
+        for i in range(5):
+            emit_event({"type": "custom", "i": i})
+        err = capsys.readouterr().err
+        assert err.count('"type": "custom"') == 5
+
+    def test_event_sinks_fan_out_and_survive_broken_subscribers(self):
+        received = []
+
+        def broken(event):
+            raise RuntimeError("subscriber bug")
+
+        obs_log.add_event_sink(broken)
+        obs_log.add_event_sink(received.append)
+        try:
+            emit_event({"type": "custom", "k": "v"})
+        finally:
+            obs_log.remove_event_sink(broken)
+            obs_log.remove_event_sink(received.append)
+        assert len(received) == 1
+        assert received[0]["k"] == "v" and "ts" in received[0]
+        emit_event({"type": "custom", "k": "after"})
+        assert len(received) == 1  # removed sinks stop receiving
 
 
 class TestPromfile:

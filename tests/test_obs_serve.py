@@ -1,0 +1,205 @@
+"""Live observability endpoint: routes, SSE stream, lifecycle."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaigns.store import CampaignStore
+from repro.obs import log as obs_log
+from repro.obs.log import emit_event, provenance
+from repro.obs.metrics import configure, registry
+from repro.obs.serve import EventBus, ObsServer
+
+PLAN = {"kind": "fixed", "tests": 8, "seed": 0}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    configure(True)
+    yield
+    configure(None)
+    obs_log.reset()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """An ObsServer on an ephemeral port, backed by a populated store."""
+    db = tmp_path / "store.sqlite"
+    with CampaignStore(db) as store:
+        cid = store.ensure_campaign("matmul", {}, PLAN, 32)
+        run = store.begin_run(cid)
+        store.save_run_metrics(cid, run, {
+            "counters": [
+                {"name": "engine.ops", "labels": {}, "value": 1234},
+            ],
+            "gauges": [],
+            "histograms": [],
+        })
+    srv = ObsServer(port=0, store_path=str(db)).start()
+    try:
+        yield srv, cid
+    finally:
+        srv.stop()
+
+
+def _get(url, timeout=5):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestRoutes:
+    def test_healthz_reports_liveness_and_provenance(self, server):
+        srv, _ = server
+        assert srv.port != 0  # ephemeral port was bound
+        for route in ("/", "/healthz"):
+            status, body = _get(srv.url + route)
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["pid"] > 0
+            assert payload["repro_version"] == provenance()["repro_version"]
+
+    def test_metrics_serves_live_registry(self, server):
+        srv, _ = server
+        registry().inc("engine.ops", 7, backend="block")
+        status, body = _get(srv.url + "/metrics")
+        assert status == 200
+        assert 'repro_engine_ops{backend="block"} 7' in body
+
+    def test_metrics_serves_store_backed_campaign(self, server):
+        srv, cid = server
+        status, body = _get(f"{srv.url}/metrics?campaign={cid}")
+        assert status == 200
+        assert "repro_engine_ops 1234" in body
+
+    def test_unknown_campaign_is_404(self, server):
+        srv, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{srv.url}/metrics?campaign=nope")
+        assert excinfo.value.code == 404
+
+    def test_campaigns_lists_store_contents(self, server):
+        srv, cid = server
+        status, body = _get(srv.url + "/campaigns")
+        (summary,) = json.loads(body)
+        assert summary["campaign_id"] == cid
+        assert summary["workload"] == "matmul"
+        assert summary["runs"] == 1
+        assert "fixed" in summary["plan"]
+
+    def test_unknown_route_is_404(self, server):
+        srv, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(srv.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_store_routes_without_store_are_503(self):
+        with ObsServer(port=0) as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv.url + "/campaigns")
+            assert excinfo.value.code == 503
+            # the live-registry route still works without a store
+            status, _ = _get(srv.url + "/metrics")
+            assert status == 200
+
+
+class TestEvents:
+    def test_sse_streams_hello_then_emitted_events(self, server):
+        srv, _ = server
+        lines = []
+        got_two = threading.Event()
+
+        def read_stream():
+            req = urllib.request.urlopen(srv.url + "/events", timeout=10)
+            for raw in req:
+                line = raw.decode("utf-8").rstrip("\n")
+                lines.append(line)
+                if sum(1 for l in lines if l.startswith("data:")) >= 2:
+                    got_two.set()
+                    return
+
+        reader = threading.Thread(target=read_stream, daemon=True)
+        reader.start()
+        # wait for the subscription (the hello event precedes it)
+        deadline = threading.Event()
+        for _ in range(100):
+            if srv.bus.subscriber_count:
+                break
+            deadline.wait(0.05)
+        emit_event({"type": "span", "span": "campaign.shard", "shard": 3})
+        assert got_two.wait(timeout=10)
+        events = [l.split(": ", 1)[1] for l in lines if l.startswith("event:")]
+        assert events[0] == "hello"
+        assert events[1] == "span"
+        datas = [
+            json.loads(l.split(": ", 1)[1])
+            for l in lines
+            if l.startswith("data:")
+        ]
+        assert datas[0]["status"] == "ok"
+        assert datas[1]["span"] == "campaign.shard"
+
+    def test_stop_unhooks_the_event_sink(self, tmp_path):
+        srv = ObsServer(port=0).start()
+        srv.stop()
+        received = []
+        srv.bus.subscribe()  # would receive if the sink were still wired
+        emit_event({"type": "span", "span": "late"})
+        assert srv.bus.subscriber_count == 1
+        q = srv.bus._subscribers[0]
+        assert q.empty()
+
+
+class TestCampaignServeFlag:
+    def test_campaign_run_serves_in_process(self, tmp_path, capsys):
+        import socket
+
+        from repro.campaigns.cli import main
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        store = str(tmp_path / "store.sqlite")
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:8",
+             "--store", store, "--workers", "1", "--serve", str(port)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"observability endpoint: http://127.0.0.1:{port}" in err
+
+    def test_env_port_alone_enables_serving(self, tmp_path, capsys,
+                                            monkeypatch):
+        import socket
+
+        from repro.campaigns.cli import main
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        monkeypatch.setenv("REPRO_OBS_PORT", str(port))
+        store = str(tmp_path / "store.sqlite")
+        assert main(
+            ["campaign", "run", "matmul", "--plan", "fixed:8",
+             "--store", store, "--workers", "1"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"observability endpoint: http://127.0.0.1:{port}" in err
+
+
+class TestEventBus:
+    def test_slow_subscriber_drops_instead_of_blocking(self):
+        bus = EventBus()
+        q = bus.subscribe()
+        for i in range(500):  # well past _QUEUE_DEPTH
+            bus.publish({"i": i})
+        assert q.qsize() <= 256
+        assert bus.subscriber_count == 1
+        bus.unsubscribe(q)
+        assert bus.subscriber_count == 0

@@ -179,7 +179,7 @@ class TestStoreMigrationChain:
         self._make_v2_store(path)
 
         with CampaignStore(path) as store:
-            assert store.schema_version == SCHEMA_VERSION == 6
+            assert store.schema_version == SCHEMA_VERSION == 7
             # old campaign rows survive untouched
             (record,) = store.campaigns()
             assert record.workload == "matmul"
@@ -193,7 +193,7 @@ class TestStoreMigrationChain:
         campaign_id = self._make_v3_store(path)
 
         with CampaignStore(path) as store:
-            assert store.schema_version == SCHEMA_VERSION == 6
+            assert store.schema_version == SCHEMA_VERSION == 7
             # pre-batching shard rows read back with zeroed counters
             (shard,) = store.completed_shards(campaign_id).values()
             assert shard.spec_count == 8 and shard.duration_s == 0.5
@@ -216,7 +216,7 @@ class TestStoreMigrationChain:
         assert main([*PLAN_ARGS, "--store", path]) == 0
         assert "object(s) protected" in capsys.readouterr().out
         with CampaignStore(path) as store:
-            assert store.schema_version == 6
+            assert store.schema_version == 7
             assert len(store.protection_plans()) == 1
 
     def test_future_versions_still_rejected(self, tmp_path):
